@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the five concurrency controls: per-transaction arrival cost
+//! (the right panel of Figure 12) and per-block reordering cost (the right panel of Figure 11),
+//! measured on real pending sets produced by the modified Smallbank workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eov_baselines::api::SystemKind;
+use eov_common::config::{CcConfig, WorkloadParams};
+use eov_common::txn::{Transaction, TxnId};
+use eov_vstore::{MultiVersionStore, SnapshotManager};
+use eov_workload::generator::{WorkloadGenerator, WorkloadKind};
+use fabricsharp_core::endorser::SnapshotEndorser;
+use std::time::Duration;
+
+/// Materialises `count` endorsed Smallbank transactions against a seeded store.
+fn sample_txns(count: usize, write_hot_ratio: f64) -> Vec<Transaction> {
+    let params = WorkloadParams {
+        num_accounts: 2_000,
+        write_hot_ratio,
+        ..WorkloadParams::default()
+    };
+    let mut generator = WorkloadGenerator::new(WorkloadKind::ModifiedSmallbank, params, 7);
+    let mut store = MultiVersionStore::new();
+    store.seed_genesis(generator.genesis());
+    let snapshots = SnapshotManager::new();
+    snapshots.register_block(0);
+    let endorser = SnapshotEndorser::new(snapshots);
+
+    (0..count)
+        .map(|i| {
+            let template = generator.next_template();
+            endorser.simulate_at(&store, TxnId(i as u64 + 1), 0, |ctx| template.run(ctx))
+        })
+        .collect()
+}
+
+fn bench_arrival(c: &mut Criterion) {
+    let txns = sample_txns(200, 0.2);
+    let mut group = c.benchmark_group("arrival_processing");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for system in SystemKind::all() {
+        group.bench_with_input(BenchmarkId::new("200_txns", system.label()), &system, |b, &system| {
+            b.iter(|| {
+                let mut cc = system.build(CcConfig::default());
+                for txn in &txns {
+                    let _ = cc.on_arrival(txn.clone());
+                }
+                cc.pending_len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_formation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_formation");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for batch in [50usize, 200] {
+        let txns = sample_txns(batch, 0.2);
+        for system in SystemKind::all() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("batch_{batch}"), system.label()),
+                &system,
+                |b, &system| {
+                    b.iter(|| {
+                        let mut cc = system.build(CcConfig::default());
+                        for txn in &txns {
+                            let _ = cc.on_arrival(txn.clone());
+                        }
+                        cc.cut_block().len()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_bloom_vs_exact_reachability(c: &mut Criterion) {
+    // The ablation called out in DESIGN.md: FabricSharp arrival processing with bloom-only
+    // reachability vs bloom + exact shadow sets.
+    let txns = sample_txns(200, 0.3);
+    let mut group = c.benchmark_group("fabricsharp_reachability_ablation");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (label, exact) in [("bloom_only", false), ("bloom_plus_exact", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cc = fabricsharp_core::FabricSharpCC::new(CcConfig {
+                    track_exact_reachability: exact,
+                    ..CcConfig::default()
+                });
+                for txn in &txns {
+                    let _ = cc.on_arrival(txn.clone());
+                }
+                cc.cut_block().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arrival, bench_block_formation, bench_bloom_vs_exact_reachability);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks of the dependency-graph substrate: bloom-filter operations,
+//! reachability maintenance (Algorithm 4), cycle detection (bloom vs exact) and the pending-set
+//! topological sort (Algorithm 3, line 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eov_common::config::CcConfig;
+use eov_common::txn::TxnId;
+use eov_common::version::SeqNo;
+use eov_depgraph::{BloomFilter, DependencyGraph, PendingTxnSpec};
+use std::time::Duration;
+
+fn spec(id: u64) -> PendingTxnSpec {
+    PendingTxnSpec {
+        id: TxnId(id),
+        start_ts: SeqNo::snapshot_after(0),
+        read_keys: vec![],
+        write_keys: vec![],
+    }
+}
+
+/// Builds a layered DAG of `n` pending transactions where each node depends on the previous
+/// `fanin` nodes — a dense-but-acyclic shape similar to a contended Smallbank block.
+fn layered_graph(n: u64, fanin: u64, config: CcConfig) -> DependencyGraph {
+    let mut g = DependencyGraph::new(config);
+    for id in 0..n {
+        let preds: Vec<TxnId> = (id.saturating_sub(fanin)..id).map(TxnId).collect();
+        g.insert_pending(spec(id), &preds, &[], 1);
+    }
+    g
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom_filter");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group.bench_function("insert_1000", |b| {
+        b.iter(|| {
+            let mut f = BloomFilter::new(4096, 3);
+            for i in 0..1_000u64 {
+                f.insert(i);
+            }
+            f.popcount()
+        });
+    });
+    let mut a = BloomFilter::new(4096, 3);
+    let mut other = BloomFilter::new(4096, 3);
+    for i in 0..500u64 {
+        a.insert(i);
+        other.insert(i + 10_000);
+    }
+    group.bench_function("union_4096_bits", |b| {
+        b.iter(|| {
+            let mut target = a.clone();
+            target.union_with(&other);
+            target.popcount()
+        });
+    });
+    group.bench_function("contains_hit_and_miss", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for i in 0..1_000u64 {
+                if a.contains(i) {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+    group.finish();
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependency_graph");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for &n in &[100u64, 400] {
+        group.bench_with_input(BenchmarkId::new("build_layered", n), &n, |b, &n| {
+            b.iter(|| layered_graph(n, 3, CcConfig::default()).len());
+        });
+        let g = layered_graph(n, 3, CcConfig::default());
+        group.bench_with_input(BenchmarkId::new("topo_sort_pending", n), &n, |b, _| {
+            b.iter(|| g.topo_sort_pending().len());
+        });
+        group.bench_with_input(BenchmarkId::new("cycle_check_bloom", n), &n, |b, _| {
+            b.iter(|| g.would_close_cycle(&[TxnId(n - 1)], &[TxnId(0)]).is_acyclic());
+        });
+        group.bench_with_input(BenchmarkId::new("cycle_check_exact", n), &n, |b, _| {
+            b.iter(|| g.would_close_cycle_exact(&[TxnId(n - 1)], &[TxnId(0)]));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_pruning");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group.bench_function("prune_half_of_400", |b| {
+        b.iter(|| {
+            let mut g = layered_graph(400, 2, CcConfig::default());
+            for id in 0..400u64 {
+                g.mark_committed(TxnId(id), SeqNo::new(1, id as u32 + 1));
+                if id < 200 {
+                    g.set_age_for_test(TxnId(id), 1);
+                } else {
+                    g.set_age_for_test(TxnId(id), 10);
+                }
+            }
+            g.prune_stale(5).len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bloom, bench_graph_ops, bench_pruning);
+criterion_main!(benches);

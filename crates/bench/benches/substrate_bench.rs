@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the substrates: multi-version store reads, committed-index
+//! queries, SHA-256 block hashing, Zipfian sampling and Smallbank endorsement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eov_common::rwset::{Key, Value};
+use eov_common::txn::{Transaction, TxnId};
+use eov_common::version::SeqNo;
+use eov_ledger::{sha256, Block, Digest};
+use eov_vstore::{CommittedWriteIndex, MultiVersionStore, SnapshotManager};
+use eov_workload::smallbank::{genesis_accounts, SmallbankContract, SmallbankOp};
+use eov_workload::zipf::Zipfian;
+use fabricsharp_core::endorser::SnapshotEndorser;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_mvstore(c: &mut Criterion) {
+    let mut store = MultiVersionStore::new();
+    store.seed_genesis(genesis_accounts(10_000));
+    // Ten blocks of updates to the first 500 accounts so snapshot reads have history to skip.
+    for block in 1..=10u64 {
+        for i in 0..500usize {
+            store.put(
+                Key::new(format!("checking:{i}")),
+                SeqNo::new(block, i as u32 + 1),
+                Value::from_i64(block as i64),
+            );
+        }
+        store.commit_empty_block(block);
+    }
+
+    let mut group = c.benchmark_group("mvstore");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group.bench_function("latest_read", |b| {
+        b.iter(|| store.latest(&Key::new("checking:123")).map(|v| v.version))
+    });
+    group.bench_function("snapshot_read_block_3", |b| {
+        b.iter(|| store.read_at(&Key::new("checking:123"), 3).unwrap().map(|v| v.version))
+    });
+    group.finish();
+}
+
+fn bench_indices(c: &mut Criterion) {
+    let mut cw = CommittedWriteIndex::new();
+    for block in 1..=50u64 {
+        for key in 0..200u64 {
+            cw.record(
+                Key::new(format!("k{key}")),
+                SeqNo::new(block, key as u32 + 1),
+                TxnId(block * 1_000 + key),
+            );
+        }
+    }
+    let mut group = c.benchmark_group("committed_write_index");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group.bench_function("last", |b| b.iter(|| cw.last(&Key::new("k42"))));
+    group.bench_function("before", |b| b.iter(|| cw.before(&Key::new("k42"), SeqNo::new(25, 0))));
+    group.bench_function("range_from", |b| b.iter(|| cw.from(&Key::new("k42"), SeqNo::new(40, 0)).len()));
+    group.finish();
+}
+
+fn bench_ledger_and_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ledger_and_workload");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("sha256_1kib", |b| {
+        let data = vec![0xabu8; 1024];
+        b.iter(|| sha256(&data))
+    });
+
+    let txns: Vec<Transaction> = (0..100u64)
+        .map(|i| {
+            Transaction::from_parts(
+                i,
+                0,
+                [(Key::new(format!("r{i}")), SeqNo::new(0, 1))],
+                [(Key::new(format!("w{i}")), Value::from_i64(i as i64))],
+            )
+        })
+        .collect();
+    group.bench_function("build_block_100_txns", |b| {
+        b.iter(|| Block::build(1, Digest::ZERO, txns.clone()).hash())
+    });
+
+    let zipf = Zipfian::new(10_000, 1.0);
+    let mut rng = StdRng::seed_from_u64(3);
+    group.bench_function("zipfian_sample", |b| b.iter(|| zipf.sample(&mut rng)));
+
+    // Smallbank endorsement of a SendPayment against a 10k-account snapshot.
+    let mut store = MultiVersionStore::new();
+    store.seed_genesis(genesis_accounts(10_000));
+    let snapshots = SnapshotManager::new();
+    snapshots.register_block(0);
+    let endorser = SnapshotEndorser::new(snapshots);
+    group.bench_function("smallbank_endorse_send_payment", |b| {
+        b.iter(|| {
+            endorser.simulate_at(&store, TxnId(1), 0, |ctx| {
+                SmallbankContract.run(ctx, &SmallbankOp::SendPayment { from: 1, to: 2, amount: 5 })
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mvstore, bench_indices, bench_ledger_and_zipf);
+criterion_main!(benches);

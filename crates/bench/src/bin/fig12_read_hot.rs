@@ -1,0 +1,42 @@
+//! Figure 12 — throughput and per-transaction arrival-processing latency as the read hot ratio
+//! sweeps 0 … 50 % (modified Smallbank).
+//!
+//! ```text
+//! cargo run --release -p eov-bench --bin fig12_read_hot
+//! ```
+
+use eov_baselines::api::SystemKind;
+use eov_bench::{banner, print_throughput_table, run_all_systems};
+use eov_common::config::ExperimentGrid;
+use eov_sim::SimulationConfig;
+use eov_workload::generator::WorkloadKind;
+
+fn main() {
+    banner(
+        "Figure 12",
+        "throughput (left) and measured per-txn arrival latency (right) under varying read hot ratio",
+    );
+    let grid = ExperimentGrid::default();
+    let mut rows = Vec::new();
+    for &ratio in &grid.read_hot_ratios {
+        let mut base = SimulationConfig::new(SystemKind::Fabric, WorkloadKind::ModifiedSmallbank);
+        base.params.read_hot_ratio = ratio;
+        rows.push((format!("{:.0}%", ratio * 100.0), run_all_systems(base)));
+    }
+
+    print_throughput_table("read hot ratio", &rows, |r| r.effective_tps(), "effective tps");
+    print_throughput_table(
+        "read hot ratio",
+        &rows,
+        |r| r.measured_arrival_us_per_txn,
+        "measured arrival µs/txn (this machine)",
+    );
+
+    println!(
+        "Paper's shape: read-write cycles cannot be rescued by reordering (Theorem 2), so every\n\
+         system's throughput falls at a similar rate — except Focc-s, whose stricter-but-different\n\
+         dangerous-structure rule lets it recover some transactions under heavy read contention.\n\
+         Fabric#'s arrival-time processing dominates the right panel (reachability updates), while\n\
+         Fabric++/Focc-s arrival costs are near zero."
+    );
+}

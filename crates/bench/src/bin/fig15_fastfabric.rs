@@ -1,0 +1,64 @@
+//! Figure 15 — FastFabric vs FastFabricSharp: effective throughput on the contention-free
+//! Create-Account workload and on the original Smallbank mix with Zipfian skew θ ∈ {0 … 1},
+//! with the share of commits that tolerate an anti-rw dependency highlighted.
+//!
+//! ```text
+//! cargo run --release -p eov-bench --bin fig15_fastfabric
+//! ```
+
+use eov_baselines::api::SystemKind;
+use eov_bench::{banner, run_one};
+use eov_common::config::ExperimentGrid;
+use eov_sim::SimulationConfig;
+use eov_workload::generator::WorkloadKind;
+
+fn fast_config(system: SystemKind, workload: WorkloadKind) -> SimulationConfig {
+    let mut config = SimulationConfig::fast_fabric(system, workload);
+    // FastFabric is driven well past Fabric's 700 tps; the paper reports ≈3100 tps raw.
+    config.params.request_rate_tps = 3_500;
+    config.block.max_txns_per_block = 200;
+    config
+}
+
+fn main() {
+    banner(
+        "Figure 15",
+        "FastFabric vs FastFabric# effective throughput (Create Account + mixed Smallbank)",
+    );
+    println!(
+        "{:<26} {:>14} {:>16} {:>20}",
+        "workload", "FastFabric", "FastFabric#", "Fabric# anti-rw commits"
+    );
+
+    // Contention-free Create-Account workload: the reordering overhead is the only difference.
+    let base_ff = run_one(fast_config(SystemKind::Fabric, WorkloadKind::CreateAccount));
+    let base_sharp = run_one(fast_config(SystemKind::FabricSharp, WorkloadKind::CreateAccount));
+    println!(
+        "{:<26} {:>14.0} {:>16.0} {:>20}",
+        "Create Account",
+        base_ff.effective_tps(),
+        base_sharp.effective_tps(),
+        base_sharp.committed_with_anti_rw
+    );
+
+    // Mixed Smallbank with increasing Zipfian skew.
+    for &theta in &ExperimentGrid::default().figure15_thetas {
+        let workload = WorkloadKind::MixedSmallbank { theta };
+        let ff = run_one(fast_config(SystemKind::Fabric, workload.clone()));
+        let sharp = run_one(fast_config(SystemKind::FabricSharp, workload));
+        println!(
+            "{:<26} {:>14.0} {:>16.0} {:>20}",
+            format!("Mixed Smallbank, θ={theta}"),
+            ff.effective_tps(),
+            sharp.effective_tps(),
+            sharp.committed_with_anti_rw
+        );
+    }
+
+    println!(
+        "\nPaper's shape: on Create Account FastFabric# pays <5% overhead (2960 vs 3114 tps);\n\
+         under the mixed workload the gap grows with skew and FastFabric# reaches up to 66% more\n\
+         effective throughput at θ=1, most of the gain coming from serialized transactions with\n\
+         anti-rw dependencies that FastFabric would have aborted."
+    );
+}

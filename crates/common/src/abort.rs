@@ -1,0 +1,111 @@
+//! Abort reason taxonomy.
+//!
+//! Each concurrency control aborts transactions for different reasons, and the paper's
+//! evaluation (Figure 14 in particular) breaks the abort rate down by cause. The variants of
+//! [`AbortReason`] cover every cause that appears in any of the five systems implemented in
+//! this repository.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a transaction was aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// Peer-side MVCC validation failure: the transaction read a key whose version is older
+    /// than the latest committed version (vanilla Fabric's validation-phase abort).
+    StaleRead,
+    /// The simulation read across blocks (the state changed mid-simulation); Fabric++ aborts
+    /// these during the execute phase ("simulation abort" in Figure 14).
+    CrossBlockRead,
+    /// The transaction's snapshot is older than `max_span` blocks (Section 4.6).
+    SnapshotTooOld,
+    /// Focc-s: the transaction writes a key also written by a concurrent transaction
+    /// ("Concurrent-ww" in Figure 14).
+    ConcurrentWriteWrite,
+    /// Focc-s: the transaction forms the dangerous structure of two consecutive read-write
+    /// conflicts with at least one anti-rw ("2 consecutive rw" in Figure 14).
+    DangerousStructure,
+    /// FabricSharp (Theorem 2): the transaction closes a dependency cycle with no c-ww edge
+    /// between pending transactions, so no reordering can ever serialize it.
+    UnreorderableCycle,
+    /// FabricSharp: the bloom-filter reachability test reported a (possibly false-positive)
+    /// cycle, so the transaction is preventively aborted (Section 4.4).
+    BloomFalsePositive,
+    /// Fabric++: the transaction was aborted by the in-block cycle-elimination step of the
+    /// reordering algorithm.
+    InBlockCycle,
+    /// Focc-l: the sort-based greedy reorderer dropped the transaction to break conflicts.
+    GreedyVictim,
+    /// The endorsement policy was not satisfied (not enough endorsements).
+    EndorsementPolicy,
+    /// The client or ordering service dropped the transaction (queue overflow / timeout).
+    Dropped,
+    /// Any cause not covered above ("Others" in Figure 14).
+    Other,
+}
+
+impl AbortReason {
+    /// The bucket this reason falls into in the Figure 14 abort-rate breakdown.
+    pub fn figure14_bucket(&self) -> &'static str {
+        match self {
+            AbortReason::ConcurrentWriteWrite => "Concurrent-ww",
+            AbortReason::DangerousStructure => "2 consecutive rw",
+            AbortReason::CrossBlockRead => "Simulation abort",
+            _ => "Others",
+        }
+    }
+
+    /// Whether the abort happened before the transaction was sequenced (early abort), as
+    /// opposed to a validation-phase abort after the transaction already occupied a block slot.
+    pub fn is_early(&self) -> bool {
+        !matches!(self, AbortReason::StaleRead)
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortReason::StaleRead => "stale read (MVCC validation failure)",
+            AbortReason::CrossBlockRead => "read across blocks during simulation",
+            AbortReason::SnapshotTooOld => "snapshot older than max_span",
+            AbortReason::ConcurrentWriteWrite => "concurrent write-write conflict",
+            AbortReason::DangerousStructure => "two consecutive rw conflicts (dangerous structure)",
+            AbortReason::UnreorderableCycle => "unreorderable dependency cycle",
+            AbortReason::BloomFalsePositive => "bloom-filter reachability hit (possible false positive)",
+            AbortReason::InBlockCycle => "in-block dependency cycle (Fabric++ reordering)",
+            AbortReason::GreedyVictim => "dropped by sort-based greedy reordering",
+            AbortReason::EndorsementPolicy => "endorsement policy not satisfied",
+            AbortReason::Dropped => "dropped by the pipeline",
+            AbortReason::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure14_buckets() {
+        assert_eq!(AbortReason::ConcurrentWriteWrite.figure14_bucket(), "Concurrent-ww");
+        assert_eq!(AbortReason::DangerousStructure.figure14_bucket(), "2 consecutive rw");
+        assert_eq!(AbortReason::CrossBlockRead.figure14_bucket(), "Simulation abort");
+        assert_eq!(AbortReason::StaleRead.figure14_bucket(), "Others");
+        assert_eq!(AbortReason::UnreorderableCycle.figure14_bucket(), "Others");
+    }
+
+    #[test]
+    fn stale_read_is_the_only_late_abort() {
+        assert!(!AbortReason::StaleRead.is_early());
+        assert!(AbortReason::UnreorderableCycle.is_early());
+        assert!(AbortReason::CrossBlockRead.is_early());
+        assert!(AbortReason::ConcurrentWriteWrite.is_early());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let s = AbortReason::UnreorderableCycle.to_string();
+        assert!(s.contains("cycle"));
+    }
+}

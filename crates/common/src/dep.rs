@@ -1,0 +1,153 @@
+//! The six canonical dependencies between snapshot transactions (Figure 5).
+//!
+//! Three of them relate non-concurrent transactions (`n-ww`, `n-wr`, `n-rw`) and three relate
+//! concurrent transactions (`c-ww`, `c-rw`, `anti-rw`). The distinction drives the whole
+//! paper: `anti-rw` is the only dependency that points from a later-committed transaction to
+//! an earlier-committed one (Theorem 1), and `c-ww` is the only dependency whose direction
+//! flips when the commit order of its endpoints is switched (Lemma 4).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a dependency edge `from → to` in a transaction dependency graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DependencyKind {
+    /// Non-concurrent write-write: `from` wrote a key, `to` later overwrote it, and the two do
+    /// not overlap.
+    NonConcurrentWriteWrite,
+    /// Non-concurrent write-read: `to` read the value installed by `from`.
+    NonConcurrentWriteRead,
+    /// Non-concurrent read-write: `from` read a key that `to` later overwrote, with no overlap.
+    NonConcurrentReadWrite,
+    /// Concurrent write-write: both overlap and `to` overwrites `from`'s value.
+    ConcurrentWriteWrite,
+    /// Concurrent read-write: `from` reads a key that the concurrent `to` writes, and `from`
+    /// commits first.
+    ConcurrentReadWrite,
+    /// Anti-dependency (rw where the reader commits *after* the writer): `from` reads a key
+    /// that the concurrent `to` writes, but `to` commits first. This is the only edge that
+    /// points "backwards" in commit order.
+    AntiReadWrite,
+}
+
+impl DependencyKind {
+    /// Whether the two endpoints of the edge are concurrent.
+    pub fn is_concurrent(&self) -> bool {
+        matches!(
+            self,
+            DependencyKind::ConcurrentWriteWrite
+                | DependencyKind::ConcurrentReadWrite
+                | DependencyKind::AntiReadWrite
+        )
+    }
+
+    /// Whether the edge is a write-write conflict (concurrent or not).
+    pub fn is_write_write(&self) -> bool {
+        matches!(
+            self,
+            DependencyKind::ConcurrentWriteWrite | DependencyKind::NonConcurrentWriteWrite
+        )
+    }
+
+    /// Whether the edge is a read-write conflict in either direction (c-rw, anti-rw, n-rw).
+    pub fn is_read_write(&self) -> bool {
+        matches!(
+            self,
+            DependencyKind::ConcurrentReadWrite
+                | DependencyKind::AntiReadWrite
+                | DependencyKind::NonConcurrentReadWrite
+        )
+    }
+
+    /// Lemma 3 / Lemma 4: what the edge becomes when the commit order of its two concurrent
+    /// endpoints is switched. Non-concurrent edges cannot be reordered (Lemma 1) and return
+    /// `None`.
+    pub fn after_commit_order_switch(&self) -> Option<DependencyKind> {
+        match self {
+            // c-rw and anti-rw swap into each other, but the *direction* of the dependency
+            // (reader → writer) is preserved, which is exactly Lemma 3.
+            DependencyKind::ConcurrentReadWrite => Some(DependencyKind::AntiReadWrite),
+            DependencyKind::AntiReadWrite => Some(DependencyKind::ConcurrentReadWrite),
+            // c-ww stays c-ww but the direction of the edge flips (Lemma 4); callers must
+            // reverse the endpoints themselves.
+            DependencyKind::ConcurrentWriteWrite => Some(DependencyKind::ConcurrentWriteWrite),
+            _ => None,
+        }
+    }
+
+    /// Short label used in traces and experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DependencyKind::NonConcurrentWriteWrite => "n-ww",
+            DependencyKind::NonConcurrentWriteRead => "n-wr",
+            DependencyKind::NonConcurrentReadWrite => "n-rw",
+            DependencyKind::ConcurrentWriteWrite => "c-ww",
+            DependencyKind::ConcurrentReadWrite => "c-rw",
+            DependencyKind::AntiReadWrite => "anti-rw",
+        }
+    }
+}
+
+impl fmt::Display for DependencyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DependencyKind::*;
+
+    #[test]
+    fn concurrency_classification_matches_figure5() {
+        assert!(ConcurrentWriteWrite.is_concurrent());
+        assert!(ConcurrentReadWrite.is_concurrent());
+        assert!(AntiReadWrite.is_concurrent());
+        assert!(!NonConcurrentWriteWrite.is_concurrent());
+        assert!(!NonConcurrentWriteRead.is_concurrent());
+        assert!(!NonConcurrentReadWrite.is_concurrent());
+    }
+
+    #[test]
+    fn lemma3_rw_edges_preserve_dependency_order() {
+        // Switching the commit order turns c-rw into anti-rw and vice versa; in both cases the
+        // reader still depends on the writer.
+        assert_eq!(ConcurrentReadWrite.after_commit_order_switch(), Some(AntiReadWrite));
+        assert_eq!(AntiReadWrite.after_commit_order_switch(), Some(ConcurrentReadWrite));
+    }
+
+    #[test]
+    fn lemma4_ww_edge_flips() {
+        assert_eq!(
+            ConcurrentWriteWrite.after_commit_order_switch(),
+            Some(ConcurrentWriteWrite)
+        );
+    }
+
+    #[test]
+    fn non_concurrent_edges_cannot_be_reordered() {
+        // Lemma 1: reordering can only happen between concurrent transactions.
+        assert_eq!(NonConcurrentWriteWrite.after_commit_order_switch(), None);
+        assert_eq!(NonConcurrentWriteRead.after_commit_order_switch(), None);
+        assert_eq!(NonConcurrentReadWrite.after_commit_order_switch(), None);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AntiReadWrite.to_string(), "anti-rw");
+        assert_eq!(ConcurrentWriteWrite.label(), "c-ww");
+        assert_eq!(NonConcurrentWriteRead.label(), "n-wr");
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(ConcurrentWriteWrite.is_write_write());
+        assert!(NonConcurrentWriteWrite.is_write_write());
+        assert!(!AntiReadWrite.is_write_write());
+        assert!(AntiReadWrite.is_read_write());
+        assert!(ConcurrentReadWrite.is_read_write());
+        assert!(NonConcurrentReadWrite.is_read_write());
+        assert!(!NonConcurrentWriteRead.is_read_write());
+    }
+}

@@ -1,0 +1,321 @@
+//! Keys, values, read sets and write sets.
+//!
+//! In the execute phase, endorsing peers simulate a contract invocation and record a
+//! *readset* (every key read, together with the version observed) and a *writeset* (every key
+//! written, together with the new value). These sets are the only transaction payload the
+//! orderer-side concurrency controls ever look at.
+
+use crate::version::SeqNo;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A state-database key.
+///
+/// Keys are immutable, cheaply cloneable strings (`Arc<str>`): the dependency-resolution
+/// indices clone keys heavily, and a reference-counted slice keeps that cheap without
+/// introducing lifetimes into the transaction types.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Key(Arc<str>);
+
+impl Key {
+    /// Creates a key from anything string-like.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Key(Arc::from(s.as_ref()))
+    }
+
+    /// Returns the key as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Self {
+        Key::new(s)
+    }
+}
+
+impl From<String> for Key {
+    fn from(s: String) -> Self {
+        Key(Arc::from(s.as_str()))
+    }
+}
+
+impl std::borrow::Borrow<str> for Key {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// A state-database value.
+///
+/// Values are opaque byte strings, with convenience constructors for the integer balances
+/// used by the Smallbank workloads.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Value(Vec<u8>);
+
+impl Value {
+    /// Creates a value from raw bytes.
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
+        Value(bytes.into())
+    }
+
+    /// Creates a value holding a little-endian signed 64-bit integer (account balances).
+    pub fn from_i64(v: i64) -> Self {
+        Value(v.to_le_bytes().to_vec())
+    }
+
+    /// Interprets the value as a signed 64-bit integer, if it has exactly 8 bytes.
+    pub fn as_i64(&self) -> Option<i64> {
+        let bytes: [u8; 8] = self.0.as_slice().try_into().ok()?;
+        Some(i64::from_le_bytes(bytes))
+    }
+
+    /// Raw bytes of the value.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Number of bytes in the value.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the value is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.as_i64() {
+            Some(v) => write!(f, "Value({v})"),
+            None => write!(f, "Value({} bytes)", self.0.len()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::from_i64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value(s.as_bytes().to_vec())
+    }
+}
+
+/// One entry of a readset: a key together with the version that was observed when reading it.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReadItem {
+    /// The key that was read.
+    pub key: Key,
+    /// The version of the value observed during simulation.
+    pub version: SeqNo,
+}
+
+/// One entry of a writeset: a key together with the value the transaction intends to install.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteItem {
+    /// The key that is written.
+    pub key: Key,
+    /// The new value.
+    pub value: Value,
+}
+
+/// The readset produced by contract simulation: version dependencies of the transaction.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadSet {
+    items: Vec<ReadItem>,
+}
+
+impl ReadSet {
+    /// An empty readset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read of `key` at `version`. A key read twice keeps only the first observation
+    /// (Fabric semantics: later reads within the same simulation see the same snapshot value).
+    pub fn record(&mut self, key: Key, version: SeqNo) {
+        if !self.items.iter().any(|it| it.key == key) {
+            self.items.push(ReadItem { key, version });
+        }
+    }
+
+    /// Iterates over the read items in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &ReadItem> {
+        self.items.iter()
+    }
+
+    /// Iterates over the read keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &Key> {
+        self.items.iter().map(|it| &it.key)
+    }
+
+    /// Looks up the version recorded for `key`, if any.
+    pub fn version_of(&self, key: &Key) -> Option<SeqNo> {
+        self.items.iter().find(|it| &it.key == key).map(|it| it.version)
+    }
+
+    /// Returns `true` if the readset contains `key`.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.items.iter().any(|it| &it.key == key)
+    }
+
+    /// Number of distinct keys read.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no keys were read.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl FromIterator<(Key, SeqNo)> for ReadSet {
+    fn from_iter<T: IntoIterator<Item = (Key, SeqNo)>>(iter: T) -> Self {
+        let mut rs = ReadSet::new();
+        for (k, v) in iter {
+            rs.record(k, v);
+        }
+        rs
+    }
+}
+
+/// The writeset produced by contract simulation: the state updates the transaction installs if
+/// it commits.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteSet {
+    items: Vec<WriteItem>,
+}
+
+impl WriteSet {
+    /// An empty writeset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a write of `value` to `key`. Writing the same key twice keeps the last value
+    /// (last-writer-wins within a single simulation).
+    pub fn record(&mut self, key: Key, value: Value) {
+        if let Some(existing) = self.items.iter_mut().find(|it| it.key == key) {
+            existing.value = value;
+        } else {
+            self.items.push(WriteItem { key, value });
+        }
+    }
+
+    /// Iterates over write items in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &WriteItem> {
+        self.items.iter()
+    }
+
+    /// Iterates over the written keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &Key> {
+        self.items.iter().map(|it| &it.key)
+    }
+
+    /// Looks up the value written to `key`, if any.
+    pub fn value_of(&self, key: &Key) -> Option<&Value> {
+        self.items.iter().find(|it| &it.key == key).map(|it| &it.value)
+    }
+
+    /// Returns `true` if the writeset contains `key`.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.items.iter().any(|it| &it.key == key)
+    }
+
+    /// Number of distinct keys written.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no keys were written.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl FromIterator<(Key, Value)> for WriteSet {
+    fn from_iter<T: IntoIterator<Item = (Key, Value)>>(iter: T) -> Self {
+        let mut ws = WriteSet::new();
+        for (k, v) in iter {
+            ws.record(k, v);
+        }
+        ws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_is_cheap_to_clone_and_compares_by_content() {
+        let a = Key::new("account:42");
+        let b = a.clone();
+        let c = Key::new("account:42");
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a.as_str(), "account:42");
+    }
+
+    #[test]
+    fn value_i64_roundtrip() {
+        let v = Value::from_i64(-123456789);
+        assert_eq!(v.as_i64(), Some(-123456789));
+        assert_eq!(v.len(), 8);
+        let raw = Value::from_bytes(vec![1, 2, 3]);
+        assert_eq!(raw.as_i64(), None);
+        assert!(!raw.is_empty());
+    }
+
+    #[test]
+    fn readset_keeps_first_observation() {
+        let mut rs = ReadSet::new();
+        rs.record(Key::new("A"), SeqNo::new(1, 1));
+        rs.record(Key::new("A"), SeqNo::new(2, 1));
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.version_of(&Key::new("A")), Some(SeqNo::new(1, 1)));
+    }
+
+    #[test]
+    fn writeset_keeps_last_value() {
+        let mut ws = WriteSet::new();
+        ws.record(Key::new("A"), Value::from_i64(1));
+        ws.record(Key::new("A"), Value::from_i64(2));
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws.value_of(&Key::new("A")).and_then(Value::as_i64), Some(2));
+    }
+
+    #[test]
+    fn from_iterator_builders() {
+        let rs: ReadSet = [(Key::new("A"), SeqNo::new(1, 1)), (Key::new("B"), SeqNo::new(1, 2))]
+            .into_iter()
+            .collect();
+        assert_eq!(rs.len(), 2);
+        assert!(rs.contains(&Key::new("B")));
+
+        let ws: WriteSet = [(Key::new("C"), Value::from_i64(7))].into_iter().collect();
+        assert!(ws.contains(&Key::new("C")));
+        assert_eq!(ws.keys().count(), 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Adversarial leader behaviour and the hash-commitment mitigation (Section 3.5).
+//!
+//! The paper's liveness discussion observes that the consensus leader proposes the tentative
+//! transaction order. A malicious leader that can *see transaction contents* before the order
+//! is fixed can front-run: upon spotting an undesirable transaction `TxnT` that reads and
+//! writes some record against block `N`, it fabricates `TxnT'` touching the same record
+//! against the same snapshot and places it just ahead. `TxnT'` passes the reorderability test;
+//! `TxnT` then closes an unreorderable cycle (`TxnT'` depends on `TxnT` with c-rw and `TxnT`
+//! on `TxnT'` with anti-rw) and every honest orderer aborts it.
+//!
+//! The mitigation is to hide transaction contents until the order is established: clients
+//! submit only the transaction *hash*; details are disclosed after sequencing. This module
+//! models both the attack and the defence so the example and the integration tests can
+//! demonstrate each.
+
+use eov_common::rwset::Key;
+use eov_common::txn::Transaction;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// What a client actually hands to the (possibly malicious) leader.
+#[derive(Clone, Debug)]
+pub enum ClientSubmission {
+    /// The full transaction is visible to the leader before ordering (vanilla behaviour).
+    Plain(Transaction),
+    /// Only a commitment (hash) is visible; the transaction is revealed after the order is
+    /// fixed. The leader cannot inspect read/write sets at proposal time.
+    Committed {
+        /// Commitment over the transaction contents.
+        commitment: u64,
+        /// The transaction, carried along for post-ordering reveal. A real deployment would
+        /// deliver this separately; the tuple keeps the simulation single-process.
+        sealed: Transaction,
+    },
+}
+
+impl ClientSubmission {
+    /// Builds a commitment-style submission for `txn`.
+    pub fn committed(txn: Transaction) -> Self {
+        ClientSubmission::Committed {
+            commitment: commitment_of(&txn),
+            sealed: txn,
+        }
+    }
+
+    /// The transaction as revealed *after* ordering. Checks that the revealed contents match
+    /// the commitment (a client that mutates its transaction post-commitment is caught here).
+    pub fn reveal(self) -> Result<Transaction, CommitmentMismatch> {
+        match self {
+            ClientSubmission::Plain(txn) => Ok(txn),
+            ClientSubmission::Committed { commitment, sealed } => {
+                if commitment_of(&sealed) == commitment {
+                    Ok(sealed)
+                } else {
+                    Err(CommitmentMismatch { commitment })
+                }
+            }
+        }
+    }
+
+    /// The transaction contents, if the leader is allowed to see them at proposal time.
+    pub fn visible_to_leader(&self) -> Option<&Transaction> {
+        match self {
+            ClientSubmission::Plain(txn) => Some(txn),
+            ClientSubmission::Committed { .. } => None,
+        }
+    }
+}
+
+/// Error returned when a revealed transaction does not match its earlier commitment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitmentMismatch {
+    /// The original commitment value.
+    pub commitment: u64,
+}
+
+/// Commitment function over a transaction's identity and read/write sets. (A deployment would
+/// use SHA-256 over the serialized payload; the collision resistance of the hash is not what
+/// these tests exercise, so a 64-bit std hash keeps the crate dependency-free.)
+pub fn commitment_of(txn: &Transaction) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    txn.id.0.hash(&mut hasher);
+    txn.snapshot_block.hash(&mut hasher);
+    for read in txn.read_set.iter() {
+        read.key.as_str().hash(&mut hasher);
+        read.version.block.hash(&mut hasher);
+        read.version.seq.hash(&mut hasher);
+    }
+    for write in txn.write_set.iter() {
+        write.key.as_str().hash(&mut hasher);
+        write.value.as_bytes().hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// A leader policy decides the proposed order of a batch of submissions.
+pub trait LeaderPolicy {
+    /// Reorders (and possibly augments) the submissions it received.
+    fn propose_order(&mut self, submissions: Vec<ClientSubmission>) -> Vec<ClientSubmission>;
+}
+
+/// An honest leader proposes exactly the arrival order.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HonestLeader;
+
+impl LeaderPolicy for HonestLeader {
+    fn propose_order(&mut self, submissions: Vec<ClientSubmission>) -> Vec<ClientSubmission> {
+        submissions
+    }
+}
+
+/// A front-running leader that targets transactions touching `target_key`: whenever it can see
+/// such a transaction, it fabricates a conflicting transaction (via `fabricate`) and places it
+/// immediately ahead of the victim.
+pub struct FrontRunningLeader<F>
+where
+    F: FnMut(&Transaction) -> Transaction,
+{
+    /// The record the adversary wants to contend on.
+    pub target_key: Key,
+    /// Factory producing the front-running transaction from the observed victim.
+    pub fabricate: F,
+    /// How many victims were front-run (diagnostics for tests).
+    pub attacks_launched: usize,
+}
+
+impl<F> FrontRunningLeader<F>
+where
+    F: FnMut(&Transaction) -> Transaction,
+{
+    /// Creates a front-running leader targeting `target_key`.
+    pub fn new(target_key: Key, fabricate: F) -> Self {
+        FrontRunningLeader {
+            target_key,
+            fabricate,
+            attacks_launched: 0,
+        }
+    }
+}
+
+impl<F> LeaderPolicy for FrontRunningLeader<F>
+where
+    F: FnMut(&Transaction) -> Transaction,
+{
+    fn propose_order(&mut self, submissions: Vec<ClientSubmission>) -> Vec<ClientSubmission> {
+        let mut proposed = Vec::with_capacity(submissions.len());
+        for sub in submissions {
+            let is_victim = sub
+                .visible_to_leader()
+                .map(|txn| {
+                    txn.read_set.contains(&self.target_key) && txn.write_set.contains(&self.target_key)
+                })
+                .unwrap_or(false);
+            if is_victim {
+                let victim = sub.visible_to_leader().expect("checked above");
+                let attack = (self.fabricate)(victim);
+                self.attacks_launched += 1;
+                proposed.push(ClientSubmission::Plain(attack));
+            }
+            proposed.push(sub);
+        }
+        proposed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eov_common::rwset::Value;
+    use eov_common::version::SeqNo;
+
+    fn victim_txn(id: u64) -> Transaction {
+        Transaction::from_parts(
+            id,
+            3,
+            [(Key::new("asset"), SeqNo::new(3, 1))],
+            [(Key::new("asset"), Value::from_i64(42))],
+        )
+    }
+
+    #[test]
+    fn honest_leader_preserves_order() {
+        let mut leader = HonestLeader;
+        let subs = vec![
+            ClientSubmission::Plain(victim_txn(1)),
+            ClientSubmission::Plain(victim_txn(2)),
+        ];
+        let out = leader.propose_order(subs);
+        let ids: Vec<u64> = out
+            .into_iter()
+            .map(|s| s.reveal().unwrap().id.0)
+            .collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn front_runner_injects_ahead_of_visible_victims() {
+        let mut leader = FrontRunningLeader::new(Key::new("asset"), |victim: &Transaction| {
+            let mut attack = victim.clone();
+            attack.id = eov_common::txn::TxnId(victim.id.0 + 1_000_000);
+            attack
+        });
+        let out = leader.propose_order(vec![
+            ClientSubmission::Plain(victim_txn(7)),
+            ClientSubmission::Plain(Transaction::from_parts(8, 3, [], [])),
+        ]);
+        let ids: Vec<u64> = out
+            .into_iter()
+            .map(|s| s.reveal().unwrap().id.0)
+            .collect();
+        assert_eq!(ids, vec![1_000_007, 7, 8]);
+        assert_eq!(leader.attacks_launched, 1);
+    }
+
+    #[test]
+    fn commitments_blind_the_front_runner() {
+        let mut leader = FrontRunningLeader::new(Key::new("asset"), |victim: &Transaction| victim.clone());
+        let out = leader.propose_order(vec![ClientSubmission::committed(victim_txn(7))]);
+        assert_eq!(out.len(), 1, "no attack transaction was injected");
+        assert_eq!(leader.attacks_launched, 0);
+        assert_eq!(out.into_iter().next().unwrap().reveal().unwrap().id.0, 7);
+    }
+
+    #[test]
+    fn tampered_reveal_is_detected() {
+        let txn = victim_txn(9);
+        let sub = ClientSubmission::Committed {
+            commitment: commitment_of(&txn),
+            sealed: {
+                let mut mutated = txn;
+                mutated.write_set.record(Key::new("asset"), Value::from_i64(-1));
+                mutated
+            },
+        };
+        assert!(sub.reveal().is_err());
+    }
+
+    #[test]
+    fn commitment_is_sensitive_to_every_component() {
+        let base = victim_txn(1);
+        let c0 = commitment_of(&base);
+
+        let mut different_id = base.clone();
+        different_id.id = eov_common::txn::TxnId(2);
+        assert_ne!(c0, commitment_of(&different_id));
+
+        let mut different_write = base.clone();
+        different_write.write_set.record(Key::new("asset"), Value::from_i64(43));
+        assert_ne!(c0, commitment_of(&different_write));
+
+        let mut different_snapshot = base;
+        different_snapshot.snapshot_block = 4;
+        assert_ne!(c0, commitment_of(&different_snapshot));
+    }
+}

@@ -1,0 +1,21 @@
+//! # eov-consensus
+//!
+//! The ordering substrate of the EOV pipeline (the paper's Kafka + orderer layer):
+//!
+//! * [`log`] — a totally-ordered, replicated in-process log with multi-producer submission and
+//!   independent per-orderer read cursors (the Kafka substitution documented in `DESIGN.md`).
+//! * [`orderer`] — the replicated block-formation state machine of Figure 2b: enqueue
+//!   transactions from consensus, cut a block on size or timeout.
+//! * [`adversary`] — the Section 3.5 security model: leader policies (honest / front-running)
+//!   and the hash-commitment mitigation that hides transaction contents until the order is
+//!   fixed.
+
+pub mod adversary;
+pub mod log;
+pub mod orderer;
+pub mod replica;
+
+pub use adversary::{ClientSubmission, FrontRunningLeader, HonestLeader, LeaderPolicy};
+pub use log::{ConsensusLog, LogCursor, LogProducer, Submission};
+pub use orderer::{BlockCutter, CutBatch, CutReason};
+pub use replica::{OrdererReplica, ReplicaSet};

@@ -1,0 +1,240 @@
+//! The totally-ordered, replicated transaction log (the Kafka substitution).
+//!
+//! Fabric outsources ordering to a consensus service (Kafka in the paper's deployment): every
+//! orderer submits the transactions it receives from clients, the service merges them into a
+//! single total order, and every orderer reads back the *same* stream. The only properties the
+//! rest of the system relies on are (1) a single total order and (2) every orderer observing
+//! that order in full — both of which this in-process log provides. Submissions go through a
+//! multi-producer channel (orderers live on different threads in the simulator) and are folded
+//! into the ordered log by `ingest`, after which any number of [`LogCursor`]s can replay the
+//! stream independently.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use eov_common::error::{CommonError, Result};
+use eov_common::txn::Transaction;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A submission handed to the consensus service: the endorsed transaction plus the id of the
+/// orderer that forwarded it (used only for diagnostics — the total order is what matters).
+#[derive(Clone, Debug)]
+pub struct Submission {
+    /// The endorsed transaction.
+    pub txn: Transaction,
+    /// The orderer (or client) that submitted it.
+    pub submitter: u32,
+}
+
+/// The shared totally-ordered log.
+#[derive(Debug)]
+pub struct ConsensusLog {
+    entries: Arc<RwLock<Vec<Submission>>>,
+    sender: Sender<Submission>,
+    receiver: Receiver<Submission>,
+}
+
+impl Default for ConsensusLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConsensusLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        let (sender, receiver) = unbounded();
+        ConsensusLog {
+            entries: Arc::new(RwLock::new(Vec::new())),
+            sender,
+            receiver,
+        }
+    }
+
+    /// A handle that producers (orderer front-ends, clients) use to submit transactions.
+    pub fn producer(&self) -> LogProducer {
+        LogProducer {
+            sender: self.sender.clone(),
+        }
+    }
+
+    /// Pulls every submission queued since the last call into the total order, in channel
+    /// arrival order, and returns how many were appended. In the simulator this is called by
+    /// the "consensus" step of the event loop; calling it from multiple places is safe but the
+    /// resulting interleaving is whatever the channel delivered.
+    pub fn ingest(&self) -> usize {
+        let mut appended = 0;
+        let mut entries = self.entries.write();
+        while let Ok(sub) = self.receiver.try_recv() {
+            entries.push(sub);
+            appended += 1;
+        }
+        appended
+    }
+
+    /// Appends a submission directly, bypassing the channel (used by single-threaded drivers
+    /// where channel indirection adds nothing). Returns its offset in the total order.
+    pub fn append(&self, sub: Submission) -> u64 {
+        let mut entries = self.entries.write();
+        entries.push(sub);
+        (entries.len() - 1) as u64
+    }
+
+    /// Current length of the total order.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads the entry at `offset`.
+    pub fn get(&self, offset: u64) -> Result<Submission> {
+        self.entries
+            .read()
+            .get(offset as usize)
+            .cloned()
+            .ok_or_else(|| CommonError::Consensus(format!("offset {offset} past end of log")))
+    }
+
+    /// Creates a cursor positioned at the beginning of the log. Each orderer replica owns one
+    /// cursor and replays the identical stream.
+    pub fn cursor(&self) -> LogCursor {
+        LogCursor {
+            entries: Arc::clone(&self.entries),
+            next: 0,
+        }
+    }
+}
+
+/// A cloneable producer handle for submitting transactions to the consensus service.
+#[derive(Clone, Debug)]
+pub struct LogProducer {
+    sender: Sender<Submission>,
+}
+
+impl LogProducer {
+    /// Submits a transaction on behalf of `submitter`.
+    pub fn submit(&self, txn: Transaction, submitter: u32) {
+        // The log outlives every producer in the supported topologies; if it does not, the
+        // submission is simply dropped, which models a crashed ordering service.
+        let _ = self.sender.send(Submission { txn, submitter });
+    }
+}
+
+/// An independent read cursor over the total order. Cursors never skip and never reorder —
+/// they deliver exactly the log sequence, which is what makes the per-orderer block formation
+/// deterministic.
+#[derive(Clone, Debug)]
+pub struct LogCursor {
+    entries: Arc<RwLock<Vec<Submission>>>,
+    next: usize,
+}
+
+impl LogCursor {
+    /// Returns the next submission, if any, and advances the cursor.
+    pub fn poll(&mut self) -> Option<Submission> {
+        let entries = self.entries.read();
+        let item = entries.get(self.next).cloned();
+        if item.is_some() {
+            self.next += 1;
+        }
+        item
+    }
+
+    /// Offset of the next entry this cursor will deliver.
+    pub fn position(&self) -> u64 {
+        self.next as u64
+    }
+
+    /// How many entries are currently available beyond this cursor's position.
+    pub fn lag(&self) -> usize {
+        self.entries.read().len().saturating_sub(self.next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eov_common::txn::TxnId;
+
+    fn txn(id: u64) -> Transaction {
+        Transaction::from_parts(id, 0, [], [])
+    }
+
+    #[test]
+    fn append_and_cursor_replay_the_same_order() {
+        let log = ConsensusLog::new();
+        for id in 1..=5u64 {
+            log.append(Submission { txn: txn(id), submitter: 0 });
+        }
+        let mut a = log.cursor();
+        let mut b = log.cursor();
+        let seq_a: Vec<u64> = std::iter::from_fn(|| a.poll()).map(|s| s.txn.id.0).collect();
+        let seq_b: Vec<u64> = std::iter::from_fn(|| b.poll()).map(|s| s.txn.id.0).collect();
+        assert_eq!(seq_a, vec![1, 2, 3, 4, 5]);
+        assert_eq!(seq_a, seq_b);
+        assert_eq!(a.position(), 5);
+        assert_eq!(a.lag(), 0);
+    }
+
+    #[test]
+    fn ingest_folds_channel_submissions_into_the_order() {
+        let log = ConsensusLog::new();
+        let p1 = log.producer();
+        let p2 = log.producer();
+        p1.submit(txn(10), 1);
+        p2.submit(txn(20), 2);
+        p1.submit(txn(30), 1);
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.ingest(), 3);
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+
+        // Ordering is the channel arrival order and both cursors agree on it.
+        let ids: Vec<u64> = {
+            let mut c = log.cursor();
+            std::iter::from_fn(|| c.poll()).map(|s| s.txn.id.0).collect()
+        };
+        assert_eq!(ids.len(), 3);
+        assert!(ids.contains(&10) && ids.contains(&20) && ids.contains(&30));
+    }
+
+    #[test]
+    fn get_past_end_is_an_error() {
+        let log = ConsensusLog::new();
+        log.append(Submission { txn: txn(1), submitter: 0 });
+        assert!(log.get(0).is_ok());
+        assert!(matches!(log.get(5), Err(CommonError::Consensus(_))));
+    }
+
+    #[test]
+    fn cursor_waits_for_new_entries() {
+        let log = ConsensusLog::new();
+        let mut cursor = log.cursor();
+        assert!(cursor.poll().is_none());
+        log.append(Submission { txn: txn(7), submitter: 0 });
+        assert_eq!(cursor.poll().unwrap().txn.id, TxnId(7));
+        assert!(cursor.poll().is_none());
+    }
+
+    #[test]
+    fn concurrent_producers_are_all_ingested() {
+        let log = Arc::new(ConsensusLog::new());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let producer = log.producer();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    producer.submit(txn(t as u64 * 1000 + i), t);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        log.ingest();
+        assert_eq!(log.len(), 200);
+    }
+}

@@ -1,0 +1,218 @@
+//! Orderer front-ends: the replicated block-formation procedure of Figure 2b.
+//!
+//! Every orderer runs the same loop: wait for the next transaction from consensus, enqueue it
+//! in the pending queue, and cut a block once the formation condition is met (pending count
+//! reaching the block size, or a timeout firing). Fabric++ and FabricSharp insert their
+//! reordering / filtering logic around this loop; the [`BlockCutter`] here implements only the
+//! common, CC-agnostic part so the same component is reused by all five systems.
+
+use eov_common::config::BlockConfig;
+use eov_common::txn::Transaction;
+
+/// Why a block was cut.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CutReason {
+    /// The pending queue reached `max_txns_per_block`.
+    SizeReached,
+    /// The formation timeout fired with a non-empty pending queue.
+    Timeout,
+    /// An explicit flush was requested (end of a simulation run).
+    Flush,
+}
+
+/// A batch of transactions that will become a block, in consensus order.
+#[derive(Clone, Debug)]
+pub struct CutBatch {
+    /// The transactions, in the order they were enqueued.
+    pub txns: Vec<Transaction>,
+    /// Why the cut happened.
+    pub reason: CutReason,
+    /// Simulated time at which the cut happened (milliseconds).
+    pub cut_at_ms: u64,
+}
+
+/// The replicated block-formation state machine of a single orderer.
+#[derive(Clone, Debug)]
+pub struct BlockCutter {
+    config: BlockConfig,
+    pending: Vec<Transaction>,
+    /// Simulated time when the current pending window opened.
+    window_opened_ms: u64,
+}
+
+impl BlockCutter {
+    /// Creates a cutter with the given block-formation configuration.
+    pub fn new(config: BlockConfig) -> Self {
+        BlockCutter {
+            config,
+            pending: Vec::new(),
+            window_opened_ms: 0,
+        }
+    }
+
+    /// The block configuration in use.
+    pub fn config(&self) -> &BlockConfig {
+        &self.config
+    }
+
+    /// Number of transactions waiting for the next cut.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Enqueues a transaction at simulated time `now_ms`. Returns a batch if this enqueue
+    /// satisfied the size condition.
+    pub fn enqueue(&mut self, txn: Transaction, now_ms: u64) -> Option<CutBatch> {
+        if self.pending.is_empty() {
+            self.window_opened_ms = now_ms;
+        }
+        self.pending.push(txn);
+        if self.pending.len() >= self.config.max_txns_per_block {
+            Some(self.cut(CutReason::SizeReached, now_ms))
+        } else {
+            None
+        }
+    }
+
+    /// Checks the timeout condition at simulated time `now_ms` and cuts if it fired.
+    pub fn maybe_cut_on_timeout(&mut self, now_ms: u64) -> Option<CutBatch> {
+        if !self.pending.is_empty()
+            && now_ms.saturating_sub(self.window_opened_ms) >= self.config.block_timeout_ms
+        {
+            Some(self.cut(CutReason::Timeout, now_ms))
+        } else {
+            None
+        }
+    }
+
+    /// The earliest simulated time at which the timeout condition could fire, if a window is
+    /// open. The simulator uses this to schedule its timer event.
+    pub fn next_timeout_at(&self) -> Option<u64> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.window_opened_ms + self.config.block_timeout_ms)
+        }
+    }
+
+    /// Cuts whatever is pending regardless of the condition (end of run).
+    pub fn flush(&mut self, now_ms: u64) -> Option<CutBatch> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.cut(CutReason::Flush, now_ms))
+        }
+    }
+
+    fn cut(&mut self, reason: CutReason, now_ms: u64) -> CutBatch {
+        let txns = std::mem::take(&mut self.pending);
+        CutBatch {
+            txns,
+            reason,
+            cut_at_ms: now_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(id: u64) -> Transaction {
+        Transaction::from_parts(id, 0, [], [])
+    }
+
+    fn cutter(max: usize, timeout: u64) -> BlockCutter {
+        BlockCutter::new(BlockConfig {
+            max_txns_per_block: max,
+            block_timeout_ms: timeout,
+        })
+    }
+
+    #[test]
+    fn cuts_exactly_at_the_size_threshold() {
+        let mut c = cutter(3, 1_000);
+        assert!(c.enqueue(txn(1), 0).is_none());
+        assert!(c.enqueue(txn(2), 1).is_none());
+        let batch = c.enqueue(txn(3), 2).expect("third enqueue cuts");
+        assert_eq!(batch.reason, CutReason::SizeReached);
+        assert_eq!(batch.txns.len(), 3);
+        assert_eq!(batch.txns[0].id.0, 1);
+        assert_eq!(c.pending_len(), 0);
+    }
+
+    #[test]
+    fn timeout_cuts_a_partial_block() {
+        let mut c = cutter(100, 500);
+        c.enqueue(txn(1), 100);
+        assert!(c.maybe_cut_on_timeout(400).is_none());
+        assert_eq!(c.next_timeout_at(), Some(600));
+        let batch = c.maybe_cut_on_timeout(600).expect("timeout fired");
+        assert_eq!(batch.reason, CutReason::Timeout);
+        assert_eq!(batch.txns.len(), 1);
+        assert_eq!(c.next_timeout_at(), None);
+    }
+
+    #[test]
+    fn timeout_window_restarts_after_each_cut() {
+        let mut c = cutter(2, 100);
+        c.enqueue(txn(1), 0);
+        c.enqueue(txn(2), 10); // size cut at t=10
+        c.enqueue(txn(3), 50);
+        // The new window opened at 50, so the timeout fires at 150, not 100.
+        assert!(c.maybe_cut_on_timeout(120).is_none());
+        assert!(c.maybe_cut_on_timeout(150).is_some());
+    }
+
+    #[test]
+    fn flush_returns_the_remainder_or_nothing() {
+        let mut c = cutter(10, 1_000);
+        assert!(c.flush(0).is_none());
+        c.enqueue(txn(1), 0);
+        c.enqueue(txn(2), 1);
+        let batch = c.flush(5).unwrap();
+        assert_eq!(batch.reason, CutReason::Flush);
+        assert_eq!(batch.txns.len(), 2);
+        assert!(c.flush(6).is_none());
+    }
+
+    #[test]
+    fn empty_queue_never_times_out() {
+        let mut c = cutter(10, 100);
+        assert!(c.maybe_cut_on_timeout(10_000).is_none());
+        assert_eq!(c.next_timeout_at(), None);
+    }
+
+    #[test]
+    fn replicated_cutters_produce_identical_batches() {
+        // Two orderer replicas fed the same stream at the same times cut identical blocks —
+        // the agreement property of Section 3.5 at the block-formation level.
+        let mut a = cutter(2, 100);
+        let mut b = cutter(2, 100);
+        let stream: Vec<(u64, u64)> = vec![(1, 0), (2, 5), (3, 40), (4, 90), (5, 220)];
+        let mut blocks_a = Vec::new();
+        let mut blocks_b = Vec::new();
+        for (id, t) in &stream {
+            if let Some(batch) = a.maybe_cut_on_timeout(*t) {
+                blocks_a.push(batch);
+            }
+            if let Some(batch) = b.maybe_cut_on_timeout(*t) {
+                blocks_b.push(batch);
+            }
+            if let Some(batch) = a.enqueue(txn(*id), *t) {
+                blocks_a.push(batch);
+            }
+            if let Some(batch) = b.enqueue(txn(*id), *t) {
+                blocks_b.push(batch);
+            }
+        }
+        let ids = |blocks: &[CutBatch]| -> Vec<Vec<u64>> {
+            blocks
+                .iter()
+                .map(|b| b.txns.iter().map(|t| t.id.0).collect())
+                .collect()
+        };
+        assert_eq!(ids(&blocks_a), ids(&blocks_b));
+        assert_eq!(blocks_a.len(), 2);
+    }
+}

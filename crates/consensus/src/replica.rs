@@ -1,0 +1,240 @@
+//! Orderer replicas: the composition of a consensus-log cursor, a leader policy and a block
+//! cutter into one replicated orderer front-end, plus a small multi-replica harness used to
+//! check the agreement property of Section 3.5.
+//!
+//! The concurrency control itself is *not* wired in here (that would invert the crate
+//! dependencies); instead the replica exposes the deterministic transaction stream and block
+//! boundaries, and the caller (simulator, tests, or the FabricSharp orderer service in
+//! `eov-baselines`) plugs its CC between `next_transaction` and `cut`.
+
+use crate::adversary::{ClientSubmission, LeaderPolicy};
+use crate::log::{ConsensusLog, LogCursor, Submission};
+use crate::orderer::{BlockCutter, CutBatch};
+use eov_common::config::BlockConfig;
+use eov_common::txn::Transaction;
+
+/// One orderer replica: replays the shared total order and cuts blocks deterministically.
+#[derive(Debug)]
+pub struct OrdererReplica {
+    /// Replica identifier (diagnostics only).
+    pub id: u32,
+    cursor: LogCursor,
+    cutter: BlockCutter,
+    /// Blocks cut so far (transaction batches in consensus order).
+    blocks: Vec<CutBatch>,
+}
+
+impl OrdererReplica {
+    /// Creates a replica reading from `log` with the given block-formation configuration.
+    pub fn new(id: u32, log: &ConsensusLog, config: BlockConfig) -> Self {
+        OrdererReplica {
+            id,
+            cursor: log.cursor(),
+            cutter: BlockCutter::new(config),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Pulls every available transaction from the log at simulated time `now_ms`, enqueueing
+    /// each and cutting blocks whenever the size condition fires. Returns how many
+    /// transactions were consumed.
+    pub fn drain(&mut self, now_ms: u64) -> usize {
+        let mut consumed = 0;
+        while let Some(Submission { txn, .. }) = self.cursor.poll() {
+            consumed += 1;
+            if let Some(batch) = self.cutter.enqueue(txn, now_ms) {
+                self.blocks.push(batch);
+            }
+        }
+        consumed
+    }
+
+    /// Fires the timeout condition at simulated time `now_ms`.
+    pub fn tick(&mut self, now_ms: u64) {
+        if let Some(batch) = self.cutter.maybe_cut_on_timeout(now_ms) {
+            self.blocks.push(batch);
+        }
+    }
+
+    /// Flushes whatever is pending (end of run).
+    pub fn flush(&mut self, now_ms: u64) {
+        if let Some(batch) = self.cutter.flush(now_ms) {
+            self.blocks.push(batch);
+        }
+    }
+
+    /// The blocks this replica has cut so far.
+    pub fn blocks(&self) -> &[CutBatch] {
+        &self.blocks
+    }
+
+    /// The transaction-id sequences of the cut blocks — the canonical representation compared
+    /// across replicas for agreement.
+    pub fn block_ids(&self) -> Vec<Vec<u64>> {
+        self.blocks
+            .iter()
+            .map(|b| b.txns.iter().map(|t| t.id.0).collect())
+            .collect()
+    }
+}
+
+/// A set of orderer replicas fed from one consensus log, with an optional leader policy that
+/// decides the order in which client submissions enter the log (the Section 3.5 threat model:
+/// the leader controls the tentative order, the replicas merely replay it).
+pub struct ReplicaSet<L: LeaderPolicy> {
+    log: ConsensusLog,
+    leader: L,
+    replicas: Vec<OrdererReplica>,
+}
+
+impl<L: LeaderPolicy> ReplicaSet<L> {
+    /// Creates `n` replicas sharing one log, with `leader` deciding the proposal order.
+    pub fn new(n: u32, config: BlockConfig, leader: L) -> Self {
+        let log = ConsensusLog::new();
+        let replicas = (0..n).map(|id| OrdererReplica::new(id, &log, config)).collect();
+        ReplicaSet { log, leader, replicas }
+    }
+
+    /// Submits a batch of client submissions through the leader and into the total order.
+    /// Commitment submissions are revealed after sequencing; reveals that do not match their
+    /// commitment are dropped (and counted in the return value's second component).
+    pub fn submit_batch(&mut self, submissions: Vec<ClientSubmission>) -> (usize, usize) {
+        let proposed = self.leader.propose_order(submissions);
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for submission in proposed {
+            match submission.reveal() {
+                Ok(txn) => {
+                    self.log.append(Submission { txn, submitter: 0 });
+                    accepted += 1;
+                }
+                Err(_) => rejected += 1,
+            }
+        }
+        (accepted, rejected)
+    }
+
+    /// Convenience: submits plain transactions.
+    pub fn submit_plain(&mut self, txns: Vec<Transaction>) {
+        let submissions = txns.into_iter().map(ClientSubmission::Plain).collect();
+        let _ = self.submit_batch(submissions);
+    }
+
+    /// Lets every replica drain the log and cut blocks at simulated time `now_ms`.
+    pub fn step(&mut self, now_ms: u64) {
+        for replica in &mut self.replicas {
+            replica.tick(now_ms);
+            replica.drain(now_ms);
+        }
+    }
+
+    /// Flushes every replica.
+    pub fn flush(&mut self, now_ms: u64) {
+        for replica in &mut self.replicas {
+            replica.flush(now_ms);
+        }
+    }
+
+    /// The agreement predicate: every replica has cut exactly the same blocks in the same
+    /// order.
+    pub fn in_agreement(&self) -> bool {
+        let Some(first) = self.replicas.first() else {
+            return true;
+        };
+        let reference = first.block_ids();
+        self.replicas.iter().all(|r| r.block_ids() == reference)
+    }
+
+    /// Access to the individual replicas.
+    pub fn replicas(&self) -> &[OrdererReplica] {
+        &self.replicas
+    }
+
+    /// The shared consensus log (e.g. to attach extra cursors in tests).
+    pub fn log(&self) -> &ConsensusLog {
+        &self.log
+    }
+
+    /// The leader policy (e.g. to inspect how many attacks a malicious leader launched).
+    pub fn leader(&self) -> &L {
+        &self.leader
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::HonestLeader;
+    use eov_common::rwset::{Key, Value};
+    use eov_common::version::SeqNo;
+
+    fn txn(id: u64) -> Transaction {
+        Transaction::from_parts(
+            id,
+            0,
+            [(Key::new("A"), SeqNo::new(0, 1))],
+            [(Key::new("B"), Value::from_i64(id as i64))],
+        )
+    }
+
+    #[test]
+    fn replicas_agree_on_block_boundaries_and_contents() {
+        let config = BlockConfig { max_txns_per_block: 4, block_timeout_ms: 1_000 };
+        let mut set = ReplicaSet::new(3, config, HonestLeader);
+        set.submit_plain((1..=10).map(txn).collect());
+        set.step(5);
+        set.flush(10);
+        assert!(set.in_agreement());
+        let blocks = set.replicas()[0].block_ids();
+        assert_eq!(blocks.len(), 3, "10 txns at 4 per block = 2 full blocks + 1 flushed");
+        assert_eq!(blocks[0], vec![1, 2, 3, 4]);
+        assert_eq!(blocks[2], vec![9, 10]);
+        assert_eq!(set.log().len(), 10);
+    }
+
+    #[test]
+    fn replicas_that_join_late_still_agree() {
+        let config = BlockConfig { max_txns_per_block: 3, block_timeout_ms: 1_000 };
+        let mut set = ReplicaSet::new(1, config, HonestLeader);
+        set.submit_plain((1..=6).map(txn).collect());
+        set.step(1);
+
+        // A second "replica" created afterwards replays the same log from the start.
+        let mut late = OrdererReplica::new(9, set.log(), config);
+        late.drain(2);
+        late.flush(3);
+        set.flush(3);
+        assert_eq!(late.block_ids(), set.replicas()[0].block_ids());
+        assert_eq!(late.blocks().len(), 2);
+    }
+
+    #[test]
+    fn timeout_cuts_are_replicated_too() {
+        let config = BlockConfig { max_txns_per_block: 100, block_timeout_ms: 50 };
+        let mut set = ReplicaSet::new(2, config, HonestLeader);
+        set.submit_plain(vec![txn(1), txn(2)]);
+        set.step(0); // both replicas enqueue at t=0
+        set.step(60); // timeout fires on both
+        assert!(set.in_agreement());
+        assert_eq!(set.replicas()[0].blocks().len(), 1);
+        assert_eq!(set.replicas()[0].blocks()[0].txns.len(), 2);
+    }
+
+    #[test]
+    fn mismatched_reveals_are_dropped_before_entering_the_order() {
+        use crate::adversary::commitment_of;
+        let config = BlockConfig::default();
+        let mut set = ReplicaSet::new(1, config, HonestLeader);
+        let good = ClientSubmission::committed(txn(1));
+        let bad = {
+            let original = txn(2);
+            let mut mutated = original.clone();
+            mutated.write_set.record(Key::new("B"), Value::from_i64(-1));
+            ClientSubmission::Committed { commitment: commitment_of(&original), sealed: mutated }
+        };
+        let (accepted, rejected) = set.submit_batch(vec![good, bad]);
+        assert_eq!(accepted, 1);
+        assert_eq!(rejected, 1);
+        assert_eq!(set.log().len(), 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Dependency resolution for an incoming transaction (Section 4.3).
+//!
+//! Given the committed-transaction indices (CW / CR), the pending indices (PW / PR) and the
+//! new transaction's read keys, write keys and start timestamp, the orderer computes:
+//!
+//! ```text
+//! anti-rw(txn) = ⋃_{r ∈ R}  CW[r][startTS:]  ∪  PW[r]      (successors of txn)
+//! rw(txn)      = ⋃_{w ∈ W}  CR[w]            ∪  PR[w]      (predecessors)
+//! n-wr(txn)    = ⋃_{r ∈ R}  CW.Before(r, startTS)          (predecessors)
+//! ww(txn)      = ⋃_{w ∈ W}  CW.Last(w)                     (predecessors)
+//! ```
+//!
+//! Predecessors must be serialized before the new transaction, successors after it. The c-ww
+//! dependencies *between pending transactions* are deliberately ignored here — Theorem 2 shows
+//! they are the only edges reordering can flip, so they are restored later (Algorithm 5) once
+//! the block's commit order has been fixed.
+
+use eov_common::txn::{Transaction, TxnId};
+use eov_vstore::{CommittedReadIndex, CommittedWriteIndex, PendingIndex};
+
+/// The dependencies of a newly arrived transaction, split into the two roles they play in the
+/// cycle test of Algorithm 2.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResolvedDeps {
+    /// Transactions that must be serialized *before* the new one (ww ∪ n-wr ∪ rw).
+    pub predecessors: Vec<TxnId>,
+    /// Transactions that must be serialized *after* the new one (anti-rw).
+    pub successors: Vec<TxnId>,
+}
+
+impl ResolvedDeps {
+    /// Whether the transaction has no dependencies at all (the common case under uniform
+    /// workloads, which is what makes the arrival path cheap on average).
+    pub fn is_empty(&self) -> bool {
+        self.predecessors.is_empty() && self.successors.is_empty()
+    }
+}
+
+/// Computes the dependencies of `txn` against the committed and pending indices.
+///
+/// The transaction's own id never appears in the result (a transaction cannot depend on
+/// itself), and each side is deduplicated while preserving first-seen order so the downstream
+/// graph insertion is deterministic across replicated orderers.
+pub fn resolve_dependencies(
+    txn: &Transaction,
+    cw: &CommittedWriteIndex,
+    cr: &CommittedReadIndex,
+    pw: &PendingIndex,
+    pr: &PendingIndex,
+) -> ResolvedDeps {
+    let start_ts = txn.start_ts();
+    let mut successors = Dedup::new(txn.id);
+    let mut predecessors = Dedup::new(txn.id);
+
+    // anti-rw: committed or pending writers that overwrite something we read at or after our
+    // snapshot — we must come before them in any serializable order.
+    for read in txn.read_set.iter() {
+        for w in cw.from(&read.key, start_ts) {
+            successors.push(w);
+        }
+        for &w in pw.get(&read.key) {
+            successors.push(w);
+        }
+    }
+
+    // rw: committed or pending readers of keys we overwrite — they read the previous value, so
+    // they come before us.
+    for write in txn.write_set.iter() {
+        for r in cr.readers(&write.key) {
+            predecessors.push(r);
+        }
+        for &r in pr.get(&write.key) {
+            predecessors.push(r);
+        }
+    }
+
+    // n-wr: the committed writer that installed each version we read.
+    for read in txn.read_set.iter() {
+        if let Some(w) = cw.before(&read.key, start_ts) {
+            predecessors.push(w);
+        }
+    }
+
+    // ww: the last committed writer of each key we overwrite.
+    for write in txn.write_set.iter() {
+        if let Some(w) = cw.last(&write.key) {
+            predecessors.push(w);
+        }
+    }
+
+    ResolvedDeps {
+        predecessors: predecessors.into_vec(),
+        successors: successors.into_vec(),
+    }
+}
+
+/// Order-preserving deduplicating collector that also filters out the transaction itself.
+struct Dedup {
+    own: TxnId,
+    seen: Vec<TxnId>,
+}
+
+impl Dedup {
+    fn new(own: TxnId) -> Self {
+        Dedup { own, seen: Vec::new() }
+    }
+
+    fn push(&mut self, id: TxnId) {
+        if id != self.own && !self.seen.contains(&id) {
+            self.seen.push(id);
+        }
+    }
+
+    fn into_vec(self) -> Vec<TxnId> {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eov_common::rwset::{Key, Value};
+    use eov_common::version::SeqNo;
+
+    fn k(s: &str) -> Key {
+        Key::new(s)
+    }
+
+    /// A transaction reading A (observed at version (1,1)) and writing B, simulated against
+    /// block 2 (start timestamp (3,0)).
+    fn sample_txn() -> Transaction {
+        Transaction::from_parts(
+            100,
+            2,
+            [(k("A"), SeqNo::new(1, 1))],
+            [(k("B"), Value::from_i64(7))],
+        )
+    }
+
+    #[test]
+    fn empty_indices_give_no_dependencies() {
+        let deps = resolve_dependencies(
+            &sample_txn(),
+            &CommittedWriteIndex::new(),
+            &CommittedReadIndex::new(),
+            &PendingIndex::new(),
+            &PendingIndex::new(),
+        );
+        assert!(deps.is_empty());
+    }
+
+    #[test]
+    fn anti_rw_picks_up_committed_and_pending_writers_of_read_keys() {
+        let mut cw = CommittedWriteIndex::new();
+        // A committed writer of A *after* our snapshot (3,0) → anti-rw successor.
+        cw.record(k("A"), SeqNo::new(3, 1), TxnId(1));
+        // A committed writer of A *before* our snapshot → n-wr predecessor, not anti-rw.
+        cw.record(k("A"), SeqNo::new(1, 1), TxnId(2));
+        let mut pw = PendingIndex::new();
+        pw.record(k("A"), TxnId(3));
+
+        let deps = resolve_dependencies(
+            &sample_txn(),
+            &cw,
+            &CommittedReadIndex::new(),
+            &pw,
+            &PendingIndex::new(),
+        );
+        assert_eq!(deps.successors, vec![TxnId(1), TxnId(3)]);
+        assert_eq!(deps.predecessors, vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn rw_and_ww_pick_up_accessors_of_written_keys() {
+        let mut cr = CommittedReadIndex::new();
+        cr.record(k("B"), SeqNo::new(2, 1), TxnId(4)); // committed reader of B
+        let mut pr = PendingIndex::new();
+        pr.record(k("B"), TxnId(5)); // pending reader of B
+        let mut cw = CommittedWriteIndex::new();
+        cw.record(k("B"), SeqNo::new(2, 2), TxnId(6)); // last committed writer of B
+
+        let deps = resolve_dependencies(
+            &sample_txn(),
+            &cw,
+            &cr,
+            &PendingIndex::new(),
+            &pr,
+        );
+        assert_eq!(deps.predecessors, vec![TxnId(4), TxnId(5), TxnId(6)]);
+        assert!(deps.successors.is_empty());
+    }
+
+    #[test]
+    fn own_id_and_duplicates_are_filtered() {
+        let mut pw = PendingIndex::new();
+        pw.record(k("A"), TxnId(100)); // the transaction itself
+        pw.record(k("A"), TxnId(7));
+        let mut pr = PendingIndex::new();
+        pr.record(k("B"), TxnId(7)); // same id also a predecessor via a different key
+        pr.record(k("B"), TxnId(100));
+
+        let deps = resolve_dependencies(
+            &sample_txn(),
+            &CommittedWriteIndex::new(),
+            &CommittedReadIndex::new(),
+            &pw,
+            &pr,
+        );
+        assert_eq!(deps.successors, vec![TxnId(7)]);
+        assert_eq!(deps.predecessors, vec![TxnId(7)]);
+    }
+
+    #[test]
+    fn blind_writes_have_no_successors() {
+        // A transaction with no reads can never be on the reading end of an anti-rw.
+        let txn = Transaction::from_parts(1, 0, [], [(k("X"), Value::from_i64(1))]);
+        let mut cw = CommittedWriteIndex::new();
+        cw.record(k("X"), SeqNo::new(1, 1), TxnId(9));
+        let deps = resolve_dependencies(
+            &txn,
+            &cw,
+            &CommittedReadIndex::new(),
+            &PendingIndex::new(),
+            &PendingIndex::new(),
+        );
+        assert!(deps.successors.is_empty());
+        assert_eq!(deps.predecessors, vec![TxnId(9)]);
+    }
+}

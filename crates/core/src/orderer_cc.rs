@@ -1,0 +1,168 @@
+//! `FabricSharpCC`: the orderer-side fine-grained concurrency control (Section 3.4 / Figure 8).
+//!
+//! This struct owns everything the FabricSharp ordering service adds to a vanilla orderer:
+//!
+//! * the transaction dependency graph `G` with bloom-filter reachability,
+//! * the committed-transaction indices CW / CR and the pending indices PW / PR,
+//! * the accepted-but-not-yet-blocked transactions (the pending set `P`),
+//! * the statistics the evaluation section reports.
+//!
+//! The two entry points mirror Figure 8: [`FabricSharpCC::on_arrival`] (Algorithm 2, called
+//! for every transaction delivered by consensus, in order) and [`FabricSharpCC::cut_block`]
+//! (Algorithm 3, called when the block-formation condition fires). Peers running FabricSharp
+//! skip the per-transaction concurrency validation entirely — every transaction placed in a
+//! block is guaranteed serializable, which is checked end-to-end by the property tests against
+//! the offline oracle in [`crate::serializability`].
+
+use crate::stats::CcStats;
+use eov_common::config::CcConfig;
+use eov_common::txn::{Transaction, TxnId};
+use eov_depgraph::DependencyGraph;
+use eov_vstore::{CommittedReadIndex, CommittedWriteIndex, PendingIndex};
+use std::collections::HashMap;
+
+/// The FabricSharp orderer-side concurrency control.
+#[derive(Debug)]
+pub struct FabricSharpCC {
+    pub(crate) config: CcConfig,
+    pub(crate) graph: DependencyGraph,
+    pub(crate) cw: CommittedWriteIndex,
+    pub(crate) cr: CommittedReadIndex,
+    pub(crate) pw: PendingIndex,
+    pub(crate) pr: PendingIndex,
+    /// Accepted transactions waiting for the next block, keyed by id.
+    pub(crate) pending_txns: HashMap<u64, Transaction>,
+    /// Number of the block currently being assembled (the first block is 1).
+    pub(crate) next_block: u64,
+    pub(crate) stats: CcStats,
+}
+
+impl FabricSharpCC {
+    /// Creates a controller with the given configuration, starting at block 1.
+    pub fn new(config: CcConfig) -> Self {
+        FabricSharpCC {
+            graph: DependencyGraph::new(config),
+            config,
+            cw: CommittedWriteIndex::new(),
+            cr: CommittedReadIndex::new(),
+            pw: PendingIndex::new(),
+            pr: PendingIndex::new(),
+            pending_txns: HashMap::new(),
+            next_block: 1,
+            stats: CcStats::default(),
+        }
+    }
+
+    /// Creates a controller with the default configuration (`max_span = 10`, 4096-bit blooms).
+    pub fn with_defaults() -> Self {
+        Self::new(CcConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CcConfig {
+        &self.config
+    }
+
+    /// The number of the block currently being assembled.
+    pub fn next_block(&self) -> u64 {
+        self.next_block
+    }
+
+    /// Number of transactions accepted and waiting for the next block.
+    pub fn pending_len(&self) -> usize {
+        self.pending_txns.len()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &CcStats {
+        &self.stats
+    }
+
+    /// Read access to the dependency graph (tests, diagnostics, benches).
+    pub fn graph(&self) -> &DependencyGraph {
+        &self.graph
+    }
+
+    /// Looks up an accepted pending transaction.
+    pub fn pending_txn(&self, id: TxnId) -> Option<&Transaction> {
+        self.pending_txns.get(&id.0)
+    }
+
+    /// Bootstrap / recovery: registers a transaction that committed *outside* this controller
+    /// (e.g. in blocks formed before the orderer joined, or blocks replayed from the ledger).
+    /// The transaction's dependencies are resolved against the current indices, it is inserted
+    /// into the graph as a committed node, and the committed-read/-write indices are updated so
+    /// future arrivals see its conflicts. Transactions already known to the controller (i.e.
+    /// ones it cut itself) are ignored, as are transactions without a commit slot.
+    pub fn register_committed(&mut self, txn: &Transaction) {
+        let Some(slot) = txn.end_ts else { return };
+        if self.graph.contains(txn.id) {
+            return;
+        }
+        let deps = crate::dependency::resolve_dependencies(txn, &self.cw, &self.cr, &self.pw, &self.pr);
+        let spec = eov_depgraph::PendingTxnSpec {
+            id: txn.id,
+            start_ts: txn.start_ts(),
+            read_keys: txn.read_set.keys().cloned().collect(),
+            write_keys: txn.write_set.keys().cloned().collect(),
+        };
+        self.graph
+            .insert_pending(spec, &deps.predecessors, &deps.successors, slot.block);
+        self.graph.mark_committed(txn.id, slot);
+        for read in txn.read_set.iter() {
+            self.cr.record(read.key.clone(), slot, txn.id);
+        }
+        for write in txn.write_set.iter() {
+            self.cw.record(write.key.clone(), slot, txn.id);
+            self.cr.drop_stale_readers(&write.key, slot);
+        }
+        self.next_block = self.next_block.max(slot.block + 1);
+    }
+
+    /// Drops an accepted pending transaction (used by adversarial scenarios and tests only;
+    /// the normal pipeline never un-accepts a transaction).
+    pub fn withdraw(&mut self, id: TxnId) -> Option<Transaction> {
+        let txn = self.pending_txns.remove(&id.0)?;
+        self.graph.remove(id);
+        self.pw.remove_txn(id);
+        self.pr.remove_txn(id);
+        Some(txn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eov_common::rwset::{Key, Value};
+    use eov_common::version::SeqNo;
+
+    #[test]
+    fn construction_defaults() {
+        let cc = FabricSharpCC::with_defaults();
+        assert_eq!(cc.next_block(), 1);
+        assert_eq!(cc.pending_len(), 0);
+        assert_eq!(cc.config().max_span, 10);
+        assert_eq!(cc.stats().arrivals, 0);
+        assert!(cc.graph().is_empty());
+    }
+
+    #[test]
+    fn withdraw_removes_all_traces() {
+        let mut cc = FabricSharpCC::with_defaults();
+        let txn = Transaction::from_parts(
+            1,
+            0,
+            [(Key::new("A"), SeqNo::new(0, 1))],
+            [(Key::new("B"), Value::from_i64(1))],
+        );
+        assert!(cc.on_arrival(txn).is_accept());
+        assert_eq!(cc.pending_len(), 1);
+        assert!(cc.pending_txn(TxnId(1)).is_some());
+
+        let withdrawn = cc.withdraw(TxnId(1)).unwrap();
+        assert_eq!(withdrawn.id, TxnId(1));
+        assert_eq!(cc.pending_len(), 0);
+        assert!(!cc.graph().contains(TxnId(1)));
+        assert!(cc.withdraw(TxnId(1)).is_none());
+    }
+}

@@ -1,0 +1,163 @@
+//! Concurrency-control statistics.
+//!
+//! The paper's evaluation reports several internal metrics besides throughput: the breakdown
+//! of per-transaction arrival processing (Figure 12 right — identify conflict / update graph /
+//! index record), the breakdown of the block-formation reordering latency (Figure 11 right —
+//! compute order / restore ww / persist to storage / prune G), the number of reachability hops
+//! traversed per arrival and the transaction block span (Figure 13 right), and the abort-rate
+//! breakdown by cause (Figure 14 right). [`CcStats`] accumulates all of them.
+
+use eov_common::abort::AbortReason;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Cumulative statistics of a concurrency-control instance.
+#[derive(Clone, Debug, Default)]
+pub struct CcStats {
+    /// Transactions presented to the arrival path.
+    pub arrivals: u64,
+    /// Transactions accepted into the pending set.
+    pub accepted: u64,
+    /// Early aborts by reason (before the transaction was sequenced into a block).
+    pub early_aborts: HashMap<AbortReason, u64>,
+    /// Of the early aborts, how many were bloom-filter false positives (only known when exact
+    /// reachability tracking is enabled).
+    pub bloom_false_positive_aborts: u64,
+    /// Blocks formed.
+    pub blocks_formed: u64,
+    /// Transactions committed into blocks.
+    pub committed: u64,
+    /// Total reachability-update hops across all arrivals (Figure 13, "# of hops").
+    pub total_hops: u64,
+    /// Largest single-arrival hop count observed.
+    pub max_hops: u64,
+    /// Sum of block spans of committed transactions (Figure 13, "Txn blk span").
+    pub block_span_sum: u64,
+    /// Peak number of nodes in the dependency graph.
+    pub graph_size_peak: usize,
+
+    /// Arrival-path latency: dependency resolution + cycle test (Figure 12 "Identify conflict").
+    pub arrival_identify_conflict: Duration,
+    /// Arrival-path latency: reachability maintenance (Figure 12 "Update graph").
+    pub arrival_update_graph: Duration,
+    /// Arrival-path latency: PW/PR/pending bookkeeping (Figure 12 "Index record").
+    pub arrival_index_record: Duration,
+
+    /// Block-formation latency: topological sort (Figure 11 "Compute order").
+    pub reorder_compute_order: Duration,
+    /// Block-formation latency: ww restoration (Figure 11 "Restore ww").
+    pub reorder_restore_ww: Duration,
+    /// Block-formation latency: committed-index updates (Figure 11 "Persist to storage").
+    pub reorder_persist: Duration,
+    /// Block-formation latency: graph/index pruning (Figure 11 "Prune G").
+    pub reorder_prune: Duration,
+}
+
+impl CcStats {
+    /// Records an early abort.
+    pub fn record_abort(&mut self, reason: AbortReason) {
+        *self.early_aborts.entry(reason).or_insert(0) += 1;
+    }
+
+    /// Total early aborts across all reasons.
+    pub fn early_abort_total(&self) -> u64 {
+        self.early_aborts.values().sum()
+    }
+
+    /// Early aborts for one reason.
+    pub fn aborts_for(&self, reason: AbortReason) -> u64 {
+        self.early_aborts.get(&reason).copied().unwrap_or(0)
+    }
+
+    /// Mean reachability hops per arrival.
+    pub fn avg_hops(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.arrivals as f64
+        }
+    }
+
+    /// Mean block span per committed transaction.
+    pub fn avg_block_span(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.block_span_sum as f64 / self.committed as f64
+        }
+    }
+
+    /// Total arrival-path processing time.
+    pub fn arrival_latency_total(&self) -> Duration {
+        self.arrival_identify_conflict + self.arrival_update_graph + self.arrival_index_record
+    }
+
+    /// Total block-formation (reordering) time.
+    pub fn reorder_latency_total(&self) -> Duration {
+        self.reorder_compute_order + self.reorder_restore_ww + self.reorder_persist + self.reorder_prune
+    }
+
+    /// Mean arrival-path latency per transaction.
+    pub fn arrival_latency_per_txn(&self) -> Duration {
+        if self.arrivals == 0 {
+            Duration::ZERO
+        } else {
+            self.arrival_latency_total() / self.arrivals as u32
+        }
+    }
+
+    /// Mean reordering latency per block.
+    pub fn reorder_latency_per_block(&self) -> Duration {
+        if self.blocks_formed == 0 {
+            Duration::ZERO
+        } else {
+            self.reorder_latency_total() / self.blocks_formed as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_accounting() {
+        let mut stats = CcStats::default();
+        stats.record_abort(AbortReason::UnreorderableCycle);
+        stats.record_abort(AbortReason::UnreorderableCycle);
+        stats.record_abort(AbortReason::SnapshotTooOld);
+        assert_eq!(stats.early_abort_total(), 3);
+        assert_eq!(stats.aborts_for(AbortReason::UnreorderableCycle), 2);
+        assert_eq!(stats.aborts_for(AbortReason::StaleRead), 0);
+    }
+
+    #[test]
+    fn averages_handle_zero_denominators() {
+        let stats = CcStats::default();
+        assert_eq!(stats.avg_hops(), 0.0);
+        assert_eq!(stats.avg_block_span(), 0.0);
+        assert_eq!(stats.arrival_latency_per_txn(), Duration::ZERO);
+        assert_eq!(stats.reorder_latency_per_block(), Duration::ZERO);
+    }
+
+    #[test]
+    fn averages_and_totals() {
+        let mut stats = CcStats::default();
+        stats.arrivals = 4;
+        stats.total_hops = 12;
+        stats.committed = 2;
+        stats.block_span_sum = 6;
+        stats.blocks_formed = 2;
+        stats.arrival_identify_conflict = Duration::from_micros(100);
+        stats.arrival_update_graph = Duration::from_micros(200);
+        stats.arrival_index_record = Duration::from_micros(100);
+        stats.reorder_compute_order = Duration::from_micros(500);
+        stats.reorder_restore_ww = Duration::from_micros(300);
+        assert_eq!(stats.avg_hops(), 3.0);
+        assert_eq!(stats.avg_block_span(), 3.0);
+        assert_eq!(stats.arrival_latency_total(), Duration::from_micros(400));
+        assert_eq!(stats.arrival_latency_per_txn(), Duration::from_micros(100));
+        assert_eq!(stats.reorder_latency_total(), Duration::from_micros(800));
+        assert_eq!(stats.reorder_latency_per_block(), Duration::from_micros(400));
+    }
+}

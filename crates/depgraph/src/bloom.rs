@@ -1,0 +1,343 @@
+//! Bloom filters for reachability tracking (Section 4.4).
+//!
+//! FabricSharp represents "all transactions that can reach `txn`" with a bloom filter
+//! (`txn.anti_reachable`), because the dominant operation — unioning a predecessor's
+//! reachability into a successor's (Algorithm 4) — becomes a bitwise OR over the underlying
+//! bit vectors. False positives are possible and lead to preventive aborts; false negatives
+//! are impossible, which is what the serializability guarantee relies on.
+//!
+//! The module provides:
+//!
+//! * [`BloomFilter`] — a fixed-size double-hashing bloom filter with O(words) union.
+//! * [`RelayBloom`] — the paper's two-filter relay that bounds the false-positive rate over a
+//!   long-running orderer: one filter covers transactions from block `M` onward, the standby
+//!   covers transactions from a later block `N`, and when every transaction still tracked in
+//!   the dependency graph postdates `N` the roles rotate and the stale filter is cleared.
+
+/// A fixed-size bloom filter over `u64` items (transaction identifiers).
+///
+/// Two filters can be unioned only if they share the same geometry (bit count and hash count);
+/// the dependency graph always builds them from one [`eov_common::CcConfig`], so this holds by
+/// construction and is checked with a debug assertion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BloomFilter {
+    words: Vec<u64>,
+    num_bits: usize,
+    num_hashes: usize,
+    /// Number of direct `insert` calls (unions do not count); used to estimate saturation.
+    insertions: usize,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter with `num_bits` bits (rounded up to a multiple of 64) and
+    /// `num_hashes` probes per item.
+    pub fn new(num_bits: usize, num_hashes: usize) -> Self {
+        let num_bits = num_bits.max(64);
+        let words = vec![0u64; num_bits.div_ceil(64)];
+        BloomFilter {
+            words,
+            num_bits,
+            num_hashes: num_hashes.clamp(1, 16),
+            insertions: 0,
+        }
+    }
+
+    /// Inserts an item.
+    pub fn insert(&mut self, item: u64) {
+        let (h1, h2) = Self::hash_pair(item);
+        for i in 0..self.num_hashes {
+            let bit = self.probe(h1, h2, i);
+            self.words[bit / 64] |= 1u64 << (bit % 64);
+        }
+        self.insertions += 1;
+    }
+
+    /// Tests membership. May return a false positive, never a false negative.
+    pub fn contains(&self, item: u64) -> bool {
+        let (h1, h2) = Self::hash_pair(item);
+        (0..self.num_hashes).all(|i| {
+            let bit = self.probe(h1, h2, i);
+            self.words[bit / 64] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Unions `other` into `self` (bitwise OR). Both filters must share the same geometry.
+    pub fn union_with(&mut self, other: &BloomFilter) {
+        debug_assert_eq!(self.num_bits, other.num_bits, "bloom geometry mismatch");
+        debug_assert_eq!(self.num_hashes, other.num_hashes, "bloom geometry mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.insertions = 0;
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Number of set bits (diagnostics / saturation metrics).
+    pub fn popcount(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Fraction of bits set, in `[0, 1]`; a crude saturation estimate used to decide when the
+    /// relay should rotate in stress tests.
+    pub fn fill_ratio(&self) -> f64 {
+        self.popcount() as f64 / self.num_bits as f64
+    }
+
+    /// Number of direct insert operations performed (unions excluded).
+    pub fn insertions(&self) -> usize {
+        self.insertions
+    }
+
+    /// Geometry: `(num_bits, num_hashes)`.
+    pub fn geometry(&self) -> (usize, usize) {
+        (self.num_bits, self.num_hashes)
+    }
+
+    #[inline]
+    fn probe(&self, h1: u64, h2: u64, i: usize) -> usize {
+        // Kirsch–Mitzenmacher double hashing: g_i(x) = h1 + i * h2.
+        (h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.num_bits as u64) as usize
+    }
+
+    #[inline]
+    fn hash_pair(item: u64) -> (u64, u64) {
+        (splitmix64(item ^ 0x9e37_79b9_7f4a_7c15), splitmix64(item.wrapping_add(0x2545_f491_4f6c_dd1d)) | 1)
+    }
+}
+
+/// The 64-bit finaliser of SplitMix64; a cheap, well-mixed hash for integer keys.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The two-filter relay of Section 4.4.
+///
+/// A long-lived orderer inserts every arriving transaction into the reachability filters, and
+/// a single filter's false-positive rate would grow without bound. The relay keeps two
+/// filters: the *active* one (covering every transaction inserted since block `starts[active]`)
+/// answers queries; the *standby* one covers transactions since a later block. Once the
+/// earliest block still referenced by the dependency graph (`earliest_live_block`) passes the
+/// standby's start block, the standby covers everything that still matters, so the roles swap
+/// and the stale filter is cleared. Honest orderers must rotate at the same blocks to stay
+/// deterministic, which callers ensure by driving rotation from replicated state only.
+#[derive(Clone, Debug)]
+pub struct RelayBloom {
+    filters: [BloomFilter; 2],
+    starts: [u64; 2],
+    active: usize,
+}
+
+impl RelayBloom {
+    /// Creates a relay whose two filters both start covering at block 0.
+    pub fn new(num_bits: usize, num_hashes: usize) -> Self {
+        RelayBloom {
+            filters: [
+                BloomFilter::new(num_bits, num_hashes),
+                BloomFilter::new(num_bits, num_hashes),
+            ],
+            starts: [0, 0],
+            active: 0,
+        }
+    }
+
+    /// Inserts an item into both filters.
+    pub fn insert(&mut self, item: u64) {
+        self.filters[0].insert(item);
+        self.filters[1].insert(item);
+    }
+
+    /// Tests membership against the active filter.
+    pub fn contains(&self, item: u64) -> bool {
+        self.filters[self.active].contains(item)
+    }
+
+    /// Rotates if every transaction still tracked by the graph (earliest block
+    /// `earliest_live_block`) postdates the standby filter's start block. The cleared filter
+    /// restarts its coverage at `current_block`. Returns `true` if a rotation happened.
+    pub fn maybe_rotate(&mut self, earliest_live_block: u64, current_block: u64) -> bool {
+        let standby = 1 - self.active;
+        if earliest_live_block > self.starts[standby] {
+            self.filters[self.active].clear();
+            self.starts[self.active] = current_block;
+            self.active = standby;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fill ratio of the filter currently answering queries.
+    pub fn active_fill_ratio(&self) -> f64 {
+        self.filters[self.active].fill_ratio()
+    }
+
+    /// Index (0 or 1) of the active filter; exposed for determinism tests across replicas.
+    pub fn active_index(&self) -> usize {
+        self.active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_contains_never_false_negative() {
+        let mut f = BloomFilter::new(1024, 3);
+        for i in 0..200u64 {
+            f.insert(i * 7 + 1);
+        }
+        for i in 0..200u64 {
+            assert!(f.contains(i * 7 + 1), "false negative for {}", i * 7 + 1);
+        }
+        assert_eq!(f.insertions(), 200);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn union_is_superset_of_both() {
+        let mut a = BloomFilter::new(512, 3);
+        let mut b = BloomFilter::new(512, 3);
+        for i in 0..50u64 {
+            a.insert(i);
+            b.insert(1000 + i);
+        }
+        a.union_with(&b);
+        for i in 0..50u64 {
+            assert!(a.contains(i));
+            assert!(a.contains(1000 + i));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable_when_sized_properly() {
+        // 4096 bits / 3 hashes / 200 items → theoretical FPR well under 2%.
+        let mut f = BloomFilter::new(4096, 3);
+        for i in 0..200u64 {
+            f.insert(i);
+        }
+        let false_positives = (10_000u64..20_000).filter(|i| f.contains(*i)).count();
+        assert!(
+            false_positives < 300,
+            "false positive rate too high: {false_positives}/10000"
+        );
+    }
+
+    #[test]
+    fn clear_and_fill_ratio() {
+        let mut f = BloomFilter::new(256, 2);
+        assert!(f.is_empty());
+        assert_eq!(f.fill_ratio(), 0.0);
+        f.insert(42);
+        assert!(f.fill_ratio() > 0.0);
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.insertions(), 0);
+    }
+
+    #[test]
+    fn geometry_is_rounded_and_clamped() {
+        let f = BloomFilter::new(10, 99);
+        let (bits, hashes) = f.geometry();
+        assert_eq!(bits, 64);
+        assert_eq!(hashes, 16);
+    }
+
+    #[test]
+    fn relay_rotation_clears_the_stale_filter() {
+        let mut relay = RelayBloom::new(512, 3);
+        for i in 0..100u64 {
+            relay.insert(i);
+        }
+        assert!(relay.contains(5));
+        assert_eq!(relay.active_index(), 0);
+
+        // The graph's earliest live block is now 10 > standby start (0): rotate.
+        assert!(relay.maybe_rotate(10, 12));
+        assert_eq!(relay.active_index(), 1);
+        // Items inserted before rotation are still covered by the (new) active filter because
+        // both filters receive every insert.
+        assert!(relay.contains(5));
+
+        // Insert more, then rotate again once the graph has moved past block 12.
+        for i in 100..150u64 {
+            relay.insert(i);
+        }
+        assert!(relay.maybe_rotate(13, 20));
+        assert_eq!(relay.active_index(), 0);
+        // The filter that was cleared at the first rotation only covers inserts made after it,
+        // so old items may or may not appear — but recent ones must.
+        assert!(relay.contains(120));
+        // No rotation while the earliest live block has not passed the standby start.
+        assert!(!relay.maybe_rotate(15, 25));
+    }
+
+    #[test]
+    fn relay_keeps_false_positive_rate_bounded() {
+        // Without rotation a 1024-bit filter absorbing 2000 items would be nearly saturated.
+        // With periodic rotation the active filter only ever covers a bounded window.
+        let mut relay = RelayBloom::new(1024, 3);
+        let mut max_fill: f64 = 0.0;
+        for batch in 0..20u64 {
+            for i in 0..100u64 {
+                relay.insert(batch * 100 + i);
+            }
+            // The graph only keeps the last two batches alive.
+            relay.maybe_rotate(batch.saturating_sub(1), batch);
+            max_fill = max_fill.max(relay.active_fill_ratio());
+        }
+        assert!(
+            max_fill < 0.95,
+            "active filter should not saturate under rotation, fill={max_fill}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// No false negatives, ever.
+        #[test]
+        fn no_false_negatives(items in proptest::collection::hash_set(any::<u64>(), 1..300)) {
+            let mut f = BloomFilter::new(2048, 4);
+            for &i in &items {
+                f.insert(i);
+            }
+            for &i in &items {
+                prop_assert!(f.contains(i));
+            }
+        }
+
+        /// Union never loses members from either side.
+        #[test]
+        fn union_preserves_membership(
+            left in proptest::collection::hash_set(any::<u64>(), 0..100),
+            right in proptest::collection::hash_set(any::<u64>(), 0..100),
+        ) {
+            let mut a = BloomFilter::new(2048, 3);
+            let mut b = BloomFilter::new(2048, 3);
+            for &i in &left { a.insert(i); }
+            for &i in &right { b.insert(i); }
+            a.union_with(&b);
+            for &i in left.iter().chain(right.iter()) {
+                prop_assert!(a.contains(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,591 @@
+//! The transaction dependency graph (Sections 4.3–4.5).
+//!
+//! Every transaction accepted by the FabricSharp orderer becomes a node. Edges follow the
+//! *dependency order* (`from` must be serialized before `to`) and are stored as immediate
+//! successor lists (`succ`). In addition, each node carries `anti_reachable`: a set — a bloom
+//! filter, optionally shadowed by an exact set for the ablation experiments — of every
+//! transaction that can reach it. Cycle detection for a new transaction then reduces to
+//! membership tests between its prospective predecessors and successors (Section 4.4), and
+//! Algorithm 4's reachability maintenance reduces to bit-vector unions.
+
+use crate::bloom::BloomFilter;
+use eov_common::config::CcConfig;
+use eov_common::rwset::Key;
+use eov_common::txn::TxnId;
+use eov_common::version::SeqNo;
+use std::collections::{HashMap, HashSet};
+
+/// The set of transactions that can reach a node.
+///
+/// Always backed by a bloom filter (the production representation); when
+/// [`CcConfig::track_exact_reachability`] is enabled an exact `HashSet` is maintained
+/// alongside, which lets tests and the ablation benchmarks distinguish genuine cycles from
+/// bloom false positives.
+#[derive(Clone, Debug)]
+pub struct ReachSet {
+    bloom: BloomFilter,
+    exact: Option<HashSet<u64>>,
+}
+
+impl ReachSet {
+    /// Creates an empty reach set with the given bloom geometry.
+    pub fn new(config: &CcConfig) -> Self {
+        ReachSet {
+            bloom: BloomFilter::new(config.bloom_bits, config.bloom_hashes),
+            exact: config.track_exact_reachability.then(HashSet::new),
+        }
+    }
+
+    /// Inserts a transaction id.
+    pub fn insert(&mut self, id: TxnId) {
+        self.bloom.insert(id.0);
+        if let Some(exact) = &mut self.exact {
+            exact.insert(id.0);
+        }
+    }
+
+    /// Membership test against the bloom filter (may be a false positive).
+    pub fn contains(&self, id: TxnId) -> bool {
+        self.bloom.contains(id.0)
+    }
+
+    /// Exact membership, if exact tracking is enabled.
+    pub fn contains_exact(&self, id: TxnId) -> Option<bool> {
+        self.exact.as_ref().map(|s| s.contains(&id.0))
+    }
+
+    /// Unions `other` into `self`.
+    pub fn union_with(&mut self, other: &ReachSet) {
+        self.bloom.union_with(&other.bloom);
+        if let (Some(mine), Some(theirs)) = (&mut self.exact, &other.exact) {
+            mine.extend(theirs.iter().copied());
+        }
+    }
+
+    /// Number of set bits in the bloom filter (saturation diagnostics).
+    pub fn bloom_popcount(&self) -> u32 {
+        self.bloom.popcount()
+    }
+}
+
+/// A node of the dependency graph.
+#[derive(Clone, Debug)]
+pub struct TxnNode {
+    /// The transaction this node represents.
+    pub id: TxnId,
+    /// Start timestamp (Definition 3): the snapshot the transaction was simulated against.
+    pub start_ts: SeqNo,
+    /// End timestamp (Definition 4) once the transaction has been placed in a block; `None`
+    /// while it is still pending.
+    pub end_ts: Option<SeqNo>,
+    /// Immediate successors in dependency order.
+    pub succ: Vec<TxnId>,
+    /// Every transaction that can reach this node (bloom-filter representation).
+    pub anti_reachable: ReachSet,
+    /// Age (Section 4.6): the highest block number such that a transaction destined for that
+    /// block can reach this node. Nodes whose age falls behind the pruning threshold can never
+    /// join a future cycle and are removed.
+    pub age: u64,
+    /// Keys read by the transaction (kept for ww restoration and diagnostics).
+    pub read_keys: Vec<Key>,
+    /// Keys written by the transaction.
+    pub write_keys: Vec<Key>,
+}
+
+impl TxnNode {
+    /// Whether the node is still pending (not yet assigned a block slot).
+    pub fn is_pending(&self) -> bool {
+        self.end_ts.is_none()
+    }
+}
+
+/// Specification of a new pending transaction to be inserted into the graph.
+#[derive(Clone, Debug)]
+pub struct PendingTxnSpec {
+    /// Transaction id.
+    pub id: TxnId,
+    /// Start timestamp (snapshot sequence number).
+    pub start_ts: SeqNo,
+    /// Keys read during simulation.
+    pub read_keys: Vec<Key>,
+    /// Keys written during simulation.
+    pub write_keys: Vec<Key>,
+}
+
+/// Outcome of the cycle test performed before inserting a new transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CycleCheck {
+    /// No predecessor is reachable from any successor: inserting the transaction keeps the
+    /// graph acyclic.
+    Acyclic,
+    /// Some successor (possibly) reaches some predecessor. `confirmed_exact` reports whether
+    /// the exact shadow structure (if enabled) agrees — `Some(false)` marks a bloom false
+    /// positive, which still aborts the transaction (preventive abort, Section 4.4).
+    Cycle {
+        /// `Some(true)` — the exact structure confirms the cycle; `Some(false)` — bloom false
+        /// positive; `None` — exact tracking disabled.
+        confirmed_exact: Option<bool>,
+    },
+}
+
+impl CycleCheck {
+    /// Whether the transaction may be inserted.
+    pub fn is_acyclic(&self) -> bool {
+        matches!(self, CycleCheck::Acyclic)
+    }
+}
+
+/// Report returned by [`DependencyGraph::insert_pending`]; feeds the Figure 13 statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InsertReport {
+    /// Number of nodes visited while propagating reachability to the new transaction's
+    /// descendants ("# of hops" in Figure 13).
+    pub hops: usize,
+}
+
+/// The transaction dependency graph `G` with nodes `U` and successor edges `V`.
+#[derive(Clone, Debug)]
+pub struct DependencyGraph {
+    nodes: HashMap<u64, TxnNode>,
+    /// Pending transactions in arrival order (the set `P` of Algorithms 2 and 3).
+    pending: Vec<TxnId>,
+    config: CcConfig,
+}
+
+impl DependencyGraph {
+    /// Creates an empty graph with the given concurrency-control configuration.
+    pub fn new(config: CcConfig) -> Self {
+        DependencyGraph {
+            nodes: HashMap::new(),
+            pending: Vec::new(),
+            config,
+        }
+    }
+
+    /// The configuration the graph was built with.
+    pub fn config(&self) -> &CcConfig {
+        &self.config
+    }
+
+    /// Number of nodes currently tracked (pending + committed, before pruning).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph tracks no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `id` is currently tracked.
+    pub fn contains(&self, id: TxnId) -> bool {
+        self.nodes.contains_key(&id.0)
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: TxnId) -> Option<&TxnNode> {
+        self.nodes.get(&id.0)
+    }
+
+    /// The pending transactions in arrival order.
+    pub fn pending_ids(&self) -> &[TxnId] {
+        &self.pending
+    }
+
+    /// Number of pending transactions.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Iterates over all nodes in unspecified order.
+    pub fn nodes(&self) -> impl Iterator<Item = &TxnNode> {
+        self.nodes.values()
+    }
+
+    /// The earliest commit block among committed nodes still in the graph (`C` in the
+    /// two-filter-relay discussion of Section 4.4), if any committed node remains.
+    pub fn earliest_committed_block(&self) -> Option<u64> {
+        self.nodes
+            .values()
+            .filter_map(|n| n.end_ts.map(|e| e.block))
+            .min()
+    }
+
+    /// Section 4.4's cycle test: for each pair `(p, s)` of a predecessor and a successor of the
+    /// new transaction, a cycle would be closed iff `s` can already reach `p` (the new
+    /// transaction would supply the missing `p → new → s` segment). Membership is tested on
+    /// the predecessor's `anti_reachable` filter; a predecessor that is itself a successor is
+    /// an immediate two-node cycle.
+    pub fn would_close_cycle(&self, preds: &[TxnId], succs: &[TxnId]) -> CycleCheck {
+        for &p in preds {
+            for &s in succs {
+                if p == s {
+                    return CycleCheck::Cycle {
+                        confirmed_exact: Some(true),
+                    };
+                }
+                let Some(p_node) = self.nodes.get(&p.0) else {
+                    continue;
+                };
+                if !self.nodes.contains_key(&s.0) {
+                    continue;
+                }
+                if p_node.anti_reachable.contains(s) {
+                    let confirmed = p_node
+                        .anti_reachable
+                        .contains_exact(s)
+                        .map(|exact| exact || self.reaches_exact(s, p));
+                    return CycleCheck::Cycle {
+                        confirmed_exact: confirmed,
+                    };
+                }
+            }
+        }
+        CycleCheck::Acyclic
+    }
+
+    /// Algorithm 4: inserts a pending transaction with the given immediate predecessors and
+    /// successors, then propagates reachability to every node reachable from the successors
+    /// and bumps their age to `next_block` (the block the new transaction will commit in).
+    ///
+    /// Predecessor / successor ids that are no longer tracked (already pruned) are ignored —
+    /// their edges can no longer participate in any cycle involving future transactions, which
+    /// is exactly why pruning was safe.
+    pub fn insert_pending(
+        &mut self,
+        spec: PendingTxnSpec,
+        preds: &[TxnId],
+        succs: &[TxnId],
+        next_block: u64,
+    ) -> InsertReport {
+        let mut node = TxnNode {
+            id: spec.id,
+            start_ts: spec.start_ts,
+            end_ts: None,
+            succ: Vec::new(),
+            anti_reachable: ReachSet::new(&self.config),
+            age: next_block,
+            read_keys: spec.read_keys,
+            write_keys: spec.write_keys,
+        };
+
+        // Wire predecessors: p.succ ∪= {txn}; txn.anti_reachable ∪= {p} ∪ p.anti_reachable.
+        for &p in preds {
+            if p == spec.id {
+                continue;
+            }
+            let Some(p_node) = self.nodes.get_mut(&p.0) else {
+                continue;
+            };
+            if !p_node.succ.contains(&spec.id) {
+                p_node.succ.push(spec.id);
+            }
+            node.anti_reachable.insert(p);
+            // Split borrow: clone nothing — union from an immutable re-borrow after the push.
+            let p_reach = &self.nodes[&p.0].anti_reachable;
+            // The borrow above is fine because `node` is a local, not part of the map yet.
+            nodewise_union(&mut node.anti_reachable, p_reach);
+        }
+
+        // Wire successors: txn.succ ∪= succs (deduplicated, existing nodes only).
+        for &s in succs {
+            if s == spec.id {
+                continue;
+            }
+            if self.nodes.contains_key(&s.0) && !node.succ.contains(&s) {
+                node.succ.push(s);
+            }
+        }
+
+        // What must be pushed downstream: everything that can reach the new transaction,
+        // including the new transaction itself.
+        let mut delta = node.anti_reachable.clone();
+        delta.insert(spec.id);
+        let succ_roots = node.succ.clone();
+
+        self.nodes.insert(spec.id.0, node);
+        self.pending.push(spec.id);
+
+        // Propagate to every node reachable from the successors (Algorithm 4 lines 5–7).
+        let mut hops = 0usize;
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<TxnId> = succ_roots;
+        while let Some(current) = stack.pop() {
+            if !visited.insert(current.0) {
+                continue;
+            }
+            let Some(n) = self.nodes.get_mut(&current.0) else {
+                continue;
+            };
+            hops += 1;
+            nodewise_union(&mut n.anti_reachable, &delta);
+            n.age = n.age.max(next_block);
+            stack.extend(n.succ.iter().copied());
+        }
+
+        InsertReport { hops }
+    }
+
+    /// Adds a dependency edge `from → to` between two existing nodes and unions `from`'s
+    /// reachability (plus `from` itself) into `to`. Used by the ww-restoration step
+    /// (Algorithm 5), which then propagates further downstream itself in topological order.
+    pub fn add_edge_with_union(&mut self, from: TxnId, to: TxnId) {
+        if from == to || !self.nodes.contains_key(&from.0) || !self.nodes.contains_key(&to.0) {
+            return;
+        }
+        let mut delta = self.nodes[&from.0].anti_reachable.clone();
+        delta.insert(from);
+        let from_node = self.nodes.get_mut(&from.0).expect("checked above");
+        if !from_node.succ.contains(&to) {
+            from_node.succ.push(to);
+        }
+        let to_node = self.nodes.get_mut(&to.0).expect("checked above");
+        nodewise_union(&mut to_node.anti_reachable, &delta);
+    }
+
+    /// Unions the reachability of `source` (plus `source` itself) into `target` without adding
+    /// an edge; used by Algorithm 5's downstream propagation loop.
+    pub fn propagate_reachability(&mut self, source: TxnId, target: TxnId) {
+        if source == target || !self.nodes.contains_key(&source.0) || !self.nodes.contains_key(&target.0)
+        {
+            return;
+        }
+        let mut delta = self.nodes[&source.0].anti_reachable.clone();
+        delta.insert(source);
+        let target_node = self.nodes.get_mut(&target.0).expect("checked above");
+        nodewise_union(&mut target_node.anti_reachable, &delta);
+    }
+
+    /// Whether the pending pair `(earlier, later)` is already connected in the reachability
+    /// structure, i.e. `earlier` can reach `later`. Used by Algorithm 5 to skip redundant ww
+    /// edges (the Txn0 → Txn3 case of Figure 9).
+    pub fn already_connected(&self, earlier: TxnId, later: TxnId) -> bool {
+        self.nodes
+            .get(&later.0)
+            .map(|n| n.anti_reachable.contains(earlier))
+            .unwrap_or(false)
+    }
+
+    /// Marks a pending transaction as committed at `end_ts`. The node stays in the graph (its
+    /// dependencies may still matter for future cycles) until pruning removes it.
+    pub fn mark_committed(&mut self, id: TxnId, end_ts: SeqNo) {
+        if let Some(node) = self.nodes.get_mut(&id.0) {
+            node.end_ts = Some(end_ts);
+        }
+        self.pending.retain(|t| *t != id);
+    }
+
+    /// Removes a pending transaction entirely (used by adversarial tests and by callers that
+    /// drop a transaction after accepting it). Successor references to it are cleaned up.
+    pub fn remove(&mut self, id: TxnId) {
+        self.nodes.remove(&id.0);
+        self.pending.retain(|t| *t != id);
+        for node in self.nodes.values_mut() {
+            node.succ.retain(|s| *s != id);
+        }
+    }
+
+    /// Exact reachability query over successor edges (DFS). Used by the test oracles, by the
+    /// pending-set topological sort, and to classify bloom false positives.
+    pub fn reaches_exact(&self, from: TxnId, to: TxnId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack = vec![from];
+        while let Some(current) = stack.pop() {
+            if !visited.insert(current.0) {
+                continue;
+            }
+            let Some(node) = self.nodes.get(&current.0) else {
+                continue;
+            };
+            for &s in &node.succ {
+                if s == to {
+                    return true;
+                }
+                stack.push(s);
+            }
+        }
+        false
+    }
+
+    /// Mutable access to a node's age — only exposed to the pruning module and tests.
+    pub(crate) fn node_mut(&mut self, id: TxnId) -> Option<&mut TxnNode> {
+        self.nodes.get_mut(&id.0)
+    }
+
+    /// Internal: removes a set of node ids and cleans dangling successor references.
+    pub(crate) fn remove_many(&mut self, ids: &HashSet<u64>) {
+        if ids.is_empty() {
+            return;
+        }
+        self.nodes.retain(|id, _| !ids.contains(id));
+        self.pending.retain(|t| !ids.contains(&t.0));
+        for node in self.nodes.values_mut() {
+            node.succ.retain(|s| !ids.contains(&s.0));
+        }
+    }
+}
+
+/// Free-function union helper: unions `source` into `target`. Lives outside the impl so the
+/// borrow checker sees it cannot touch the rest of the graph.
+fn nodewise_union(target: &mut ReachSet, source: &ReachSet) {
+    target.union_with(source);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_exact() -> CcConfig {
+        CcConfig {
+            track_exact_reachability: true,
+            ..CcConfig::default()
+        }
+    }
+
+    fn spec(id: u64, snapshot_block: u64) -> PendingTxnSpec {
+        PendingTxnSpec {
+            id: TxnId(id),
+            start_ts: SeqNo::snapshot_after(snapshot_block),
+            read_keys: vec![],
+            write_keys: vec![],
+        }
+    }
+
+    #[test]
+    fn insert_wires_predecessors_and_successors() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        g.insert_pending(spec(1, 0), &[], &[], 1);
+        g.insert_pending(spec(2, 0), &[TxnId(1)], &[], 1);
+
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.node(TxnId(1)).unwrap().succ, vec![TxnId(2)]);
+        assert!(g.node(TxnId(2)).unwrap().anti_reachable.contains(TxnId(1)));
+        assert!(g.reaches_exact(TxnId(1), TxnId(2)));
+        assert!(!g.reaches_exact(TxnId(2), TxnId(1)));
+        assert_eq!(g.pending_ids(), &[TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn reachability_is_transitive_through_unions() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        g.insert_pending(spec(1, 0), &[], &[], 1);
+        g.insert_pending(spec(2, 0), &[TxnId(1)], &[], 1);
+        g.insert_pending(spec(3, 0), &[TxnId(2)], &[], 1);
+        // 1 → 2 → 3: node 3's anti_reachable must contain both 1 and 2.
+        let n3 = g.node(TxnId(3)).unwrap();
+        assert!(n3.anti_reachable.contains(TxnId(1)));
+        assert!(n3.anti_reachable.contains(TxnId(2)));
+    }
+
+    #[test]
+    fn inserting_with_successors_propagates_downstream() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        // Existing chain 10 → 11.
+        g.insert_pending(spec(10, 0), &[], &[], 1);
+        g.insert_pending(spec(11, 0), &[TxnId(10)], &[], 1);
+        // New transaction 5 whose successor is 10: everything downstream of 10 must now know
+        // that 5 can reach it.
+        let report = g.insert_pending(spec(5, 0), &[], &[TxnId(10)], 1);
+        assert!(report.hops >= 2, "should traverse 10 and 11, got {}", report.hops);
+        assert!(g.node(TxnId(10)).unwrap().anti_reachable.contains(TxnId(5)));
+        assert!(g.node(TxnId(11)).unwrap().anti_reachable.contains(TxnId(5)));
+        assert!(g.reaches_exact(TxnId(5), TxnId(11)));
+    }
+
+    #[test]
+    fn cycle_detection_catches_pred_reachable_from_succ() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        // 1 → 2 (1 is a predecessor of 2).
+        g.insert_pending(spec(1, 0), &[], &[], 1);
+        g.insert_pending(spec(2, 0), &[TxnId(1)], &[], 1);
+        // A new transaction with predecessor 2 and successor 1 would close 1 → 2 → new → 1.
+        let check = g.would_close_cycle(&[TxnId(2)], &[TxnId(1)]);
+        assert!(!check.is_acyclic());
+        assert_eq!(check, CycleCheck::Cycle { confirmed_exact: Some(true) });
+        // The reverse direction (pred 1, succ 2) is fine: new sits between them.
+        assert!(g.would_close_cycle(&[TxnId(1)], &[TxnId(2)]).is_acyclic());
+    }
+
+    #[test]
+    fn same_txn_as_pred_and_succ_is_a_two_node_cycle() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        g.insert_pending(spec(1, 0), &[], &[], 1);
+        let check = g.would_close_cycle(&[TxnId(1)], &[TxnId(1)]);
+        assert_eq!(check, CycleCheck::Cycle { confirmed_exact: Some(true) });
+    }
+
+    #[test]
+    fn unknown_ids_are_ignored_by_cycle_test_and_insert() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        g.insert_pending(spec(1, 0), &[], &[], 1);
+        assert!(g
+            .would_close_cycle(&[TxnId(99)], &[TxnId(1)])
+            .is_acyclic());
+        let report = g.insert_pending(spec(2, 0), &[TxnId(77)], &[TxnId(88)], 1);
+        assert_eq!(report.hops, 0);
+        assert!(g.node(TxnId(2)).unwrap().succ.is_empty());
+    }
+
+    #[test]
+    fn mark_committed_moves_out_of_pending_but_keeps_the_node() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        g.insert_pending(spec(1, 0), &[], &[], 1);
+        g.mark_committed(TxnId(1), SeqNo::new(1, 1));
+        assert_eq!(g.pending_len(), 0);
+        assert!(g.contains(TxnId(1)));
+        assert!(!g.node(TxnId(1)).unwrap().is_pending());
+        assert_eq!(g.earliest_committed_block(), Some(1));
+    }
+
+    #[test]
+    fn remove_cleans_successor_references() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        g.insert_pending(spec(1, 0), &[], &[], 1);
+        g.insert_pending(spec(2, 0), &[TxnId(1)], &[], 1);
+        g.remove(TxnId(2));
+        assert!(!g.contains(TxnId(2)));
+        assert!(g.node(TxnId(1)).unwrap().succ.is_empty());
+        assert_eq!(g.pending_len(), 1);
+    }
+
+    #[test]
+    fn add_edge_with_union_and_already_connected() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        g.insert_pending(spec(1, 0), &[], &[], 1);
+        g.insert_pending(spec(2, 0), &[], &[], 1);
+        assert!(!g.already_connected(TxnId(1), TxnId(2)));
+        g.add_edge_with_union(TxnId(1), TxnId(2));
+        assert!(g.already_connected(TxnId(1), TxnId(2)));
+        assert!(g.reaches_exact(TxnId(1), TxnId(2)));
+        // Self edges and unknown nodes are no-ops.
+        g.add_edge_with_union(TxnId(1), TxnId(1));
+        g.add_edge_with_union(TxnId(9), TxnId(1));
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn ages_are_bumped_on_downstream_nodes() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        g.insert_pending(spec(1, 0), &[], &[], 3);
+        g.mark_committed(TxnId(1), SeqNo::new(3, 1));
+        assert_eq!(g.node(TxnId(1)).unwrap().age, 3);
+        // New transaction for block 7 whose successor is 1: 1's age must be bumped to 7.
+        g.insert_pending(spec(2, 5), &[], &[TxnId(1)], 7);
+        assert_eq!(g.node(TxnId(1)).unwrap().age, 7);
+        assert_eq!(g.node(TxnId(2)).unwrap().age, 7);
+    }
+
+    #[test]
+    fn bloom_only_configuration_reports_unconfirmed_cycles() {
+        let mut g = DependencyGraph::new(CcConfig::default());
+        g.insert_pending(spec(1, 0), &[], &[], 1);
+        g.insert_pending(spec(2, 0), &[TxnId(1)], &[], 1);
+        match g.would_close_cycle(&[TxnId(2)], &[TxnId(1)]) {
+            CycleCheck::Cycle { confirmed_exact } => assert_eq!(confirmed_exact, None),
+            CycleCheck::Acyclic => panic!("expected a cycle"),
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # eov-depgraph
+//!
+//! The transaction dependency graph substrate behind FabricSharp's fine-grained concurrency
+//! control (Sections 4.3–4.6 of the paper):
+//!
+//! * [`bloom`] — bloom filters with O(words) union and the two-filter relay that keeps the
+//!   false-positive rate bounded over a long-running orderer.
+//! * [`graph`] — the dependency graph itself: successor edges, per-node `anti_reachable`
+//!   reachability sets, Algorithm 4's reachability maintenance, and the pair-wise cycle test
+//!   used by Algorithm 2.
+//! * [`topo`] — deterministic topological ordering of the pending set (Algorithm 3, line 1)
+//!   and topologically-ordered traversal used by Algorithm 5.
+//! * [`cycle`] — exact (non-probabilistic) cycle detection used as a test oracle and for the
+//!   bloom-vs-exact ablation.
+//! * [`prune`] — `max_span` snapshot thresholds and age-based pruning (Section 4.6).
+
+pub mod bloom;
+pub mod cycle;
+pub mod graph;
+pub mod prune;
+pub mod rebuild;
+pub mod topo;
+
+pub use bloom::{BloomFilter, RelayBloom};
+pub use graph::{CycleCheck, DependencyGraph, InsertReport, PendingTxnSpec, ReachSet, TxnNode};
+pub use prune::snapshot_threshold;

@@ -1,0 +1,305 @@
+//! Topological ordering of the pending transaction set (Algorithm 3, line 1).
+//!
+//! On block formation, FabricSharp retrieves a commit order for the pending transactions that
+//! respects every dependency recorded in the graph. Two pending transactions may be ordered
+//! through committed intermediaries (`a → committed → b`), so the ordering is computed from
+//! *reachability* over successor edges, not just direct edges within the pending set.
+//!
+//! Determinism matters: every honest orderer must produce the same order from the same input
+//! (the agreement property of Section 3.5). Ties are therefore broken by arrival order, which
+//! is itself replicated because it is derived from the consensus stream.
+
+use crate::graph::DependencyGraph;
+use eov_common::txn::TxnId;
+use std::collections::{HashMap, HashSet};
+
+impl DependencyGraph {
+    /// Returns the pending transactions in a topological order consistent with reachability in
+    /// the full graph, breaking ties by arrival order. The pending sub-graph is acyclic by
+    /// construction (Algorithm 2 rejects cycle-closing transactions), so an order always
+    /// exists; if the exact structure were ever cyclic (which would indicate a bug), the
+    /// remaining transactions are appended in arrival order so the orderer still makes
+    /// progress deterministically.
+    pub fn topo_sort_pending(&self) -> Vec<TxnId> {
+        let pending = self.pending_ids().to_vec();
+        if pending.len() <= 1 {
+            return pending;
+        }
+        let index_of: HashMap<TxnId, usize> =
+            pending.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+
+        // Edge a → b between pending transactions iff a reaches b through the graph.
+        // Reachability is computed exactly (DFS over successor edges); the bloom filters are
+        // only used for the arrival-time cycle test where false positives merely over-abort.
+        let mut edges: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
+        let mut indegree: HashMap<TxnId, usize> = pending.iter().map(|t| (*t, 0)).collect();
+        for &a in &pending {
+            let reachable = self.pending_reachable_from(a, &index_of);
+            for b in reachable {
+                edges.entry(a).or_default().push(b);
+                *indegree.get_mut(&b).expect("pending node") += 1;
+            }
+        }
+
+        // Kahn's algorithm with arrival-order tie-breaking: among ready nodes always pick the
+        // earliest-arrived one.
+        let mut ready: Vec<TxnId> = pending
+            .iter()
+            .filter(|t| indegree[t] == 0)
+            .copied()
+            .collect();
+        ready.sort_by_key(|t| index_of[t]);
+
+        let mut order = Vec::with_capacity(pending.len());
+        let mut emitted: HashSet<TxnId> = HashSet::new();
+        while let Some(&next) = ready.first() {
+            ready.remove(0);
+            order.push(next);
+            emitted.insert(next);
+            if let Some(succs) = edges.get(&next) {
+                for &b in succs {
+                    let d = indegree.get_mut(&b).expect("pending node");
+                    *d -= 1;
+                    if *d == 0 {
+                        // Insert keeping `ready` sorted by arrival index.
+                        let pos = ready
+                            .binary_search_by_key(&index_of[&b], |t| index_of[t])
+                            .unwrap_or_else(|p| p);
+                        ready.insert(pos, b);
+                    }
+                }
+            }
+        }
+
+        // Defensive fallback: if anything was left (exact cycle — should be impossible), append
+        // it in arrival order so every pending transaction still receives a slot.
+        if order.len() < pending.len() {
+            for &t in &pending {
+                if !emitted.contains(&t) {
+                    order.push(t);
+                }
+            }
+        }
+        order
+    }
+
+    /// The set of *pending* transactions reachable from `from` (excluding `from` itself),
+    /// walking successor edges through committed and pending nodes alike.
+    fn pending_reachable_from(
+        &self,
+        from: TxnId,
+        pending_index: &HashMap<TxnId, usize>,
+    ) -> Vec<TxnId> {
+        let mut result = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack = vec![from];
+        visited.insert(from.0);
+        while let Some(current) = stack.pop() {
+            let Some(node) = self.node(current) else {
+                continue;
+            };
+            for &s in &node.succ {
+                if visited.insert(s.0) {
+                    if s != from && pending_index.contains_key(&s) {
+                        result.push(s);
+                    }
+                    stack.push(s);
+                }
+            }
+        }
+        result
+    }
+
+    /// Every transaction reachable from `roots` (roots excluded unless re-reachable), returned
+    /// in a topological order over successor edges. Used by Algorithm 5 to propagate restored
+    /// ww reachability downstream exactly once per node.
+    pub fn reachable_in_topo_order(&self, roots: &[TxnId]) -> Vec<TxnId> {
+        // Iterative DFS with post-order collection; reversing the post-order of a DAG yields a
+        // topological order. The reachable sub-graph is acyclic because the whole graph is.
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut postorder: Vec<TxnId> = Vec::new();
+
+        for &root in roots {
+            if visited.contains(&root.0) || !self.contains(root) {
+                continue;
+            }
+            // Stack of (node, next-child-index).
+            let mut stack: Vec<(TxnId, usize)> = vec![(root, 0)];
+            visited.insert(root.0);
+            while let Some((current, child_idx)) = stack.last_mut() {
+                let node = self.node(*current).expect("visited nodes exist");
+                if let Some(&child) = node.succ.get(*child_idx) {
+                    *child_idx += 1;
+                    if !visited.contains(&child.0) && self.contains(child) {
+                        visited.insert(child.0);
+                        stack.push((child, 0));
+                    }
+                } else {
+                    postorder.push(*current);
+                    stack.pop();
+                }
+            }
+        }
+        postorder.reverse();
+        postorder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PendingTxnSpec;
+    use eov_common::config::CcConfig;
+    use eov_common::version::SeqNo;
+
+    fn spec(id: u64) -> PendingTxnSpec {
+        PendingTxnSpec {
+            id: TxnId(id),
+            start_ts: SeqNo::snapshot_after(0),
+            read_keys: vec![],
+            write_keys: vec![],
+        }
+    }
+
+    fn exact_graph() -> DependencyGraph {
+        DependencyGraph::new(CcConfig {
+            track_exact_reachability: true,
+            ..CcConfig::default()
+        })
+    }
+
+    #[test]
+    fn topo_respects_direct_dependencies() {
+        let mut g = exact_graph();
+        // Arrival order 3, 2, 1 but dependencies 1 → 2 → 3.
+        g.insert_pending(spec(3), &[], &[], 1);
+        g.insert_pending(spec(2), &[], &[TxnId(3)], 1);
+        g.insert_pending(spec(1), &[], &[TxnId(2)], 1);
+
+        let order = g.topo_sort_pending();
+        let pos = |id: u64| order.iter().position(|t| t.0 == id).unwrap();
+        assert!(pos(1) < pos(2));
+        assert!(pos(2) < pos(3));
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn topo_breaks_ties_by_arrival_order() {
+        let mut g = exact_graph();
+        for id in [7, 5, 9] {
+            g.insert_pending(spec(id), &[], &[], 1);
+        }
+        // No dependencies at all: the order must be exactly the arrival order.
+        assert_eq!(g.topo_sort_pending(), vec![TxnId(7), TxnId(5), TxnId(9)]);
+    }
+
+    #[test]
+    fn topo_orders_through_committed_intermediaries() {
+        let mut g = exact_graph();
+        // committed node 100 sits between pending 1 and pending 2: 1 → 100 → 2.
+        g.insert_pending(spec(100), &[], &[], 1);
+        g.mark_committed(TxnId(100), SeqNo::new(1, 1));
+        g.insert_pending(spec(2), &[TxnId(100)], &[], 2);
+        g.insert_pending(spec(1), &[], &[TxnId(100)], 2);
+
+        let order = g.topo_sort_pending();
+        assert_eq!(order, vec![TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn empty_and_singleton_pending_sets() {
+        let mut g = exact_graph();
+        assert!(g.topo_sort_pending().is_empty());
+        g.insert_pending(spec(1), &[], &[], 1);
+        assert_eq!(g.topo_sort_pending(), vec![TxnId(1)]);
+    }
+
+    #[test]
+    fn reachable_in_topo_order_visits_each_node_once_in_dependency_order() {
+        let mut g = exact_graph();
+        // Diamond: 1 → {2, 3} → 4.
+        g.insert_pending(spec(1), &[], &[], 1);
+        g.insert_pending(spec(2), &[TxnId(1)], &[], 1);
+        g.insert_pending(spec(3), &[TxnId(1)], &[], 1);
+        g.insert_pending(spec(4), &[TxnId(2), TxnId(3)], &[], 1);
+
+        let order = g.reachable_in_topo_order(&[TxnId(1)]);
+        assert_eq!(order.len(), 4);
+        let pos = |id: u64| order.iter().position(|t| t.0 == id).unwrap();
+        assert!(pos(1) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(4));
+        assert!(pos(3) < pos(4));
+
+        // Starting from the middle only visits the downstream part.
+        let partial = g.reachable_in_topo_order(&[TxnId(2)]);
+        assert_eq!(partial.len(), 2);
+        assert_eq!(partial[0], TxnId(2));
+        assert_eq!(partial[1], TxnId(4));
+    }
+
+    #[test]
+    fn reachable_in_topo_order_ignores_unknown_roots() {
+        let g = exact_graph();
+        assert!(g.reachable_in_topo_order(&[TxnId(42)]).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::graph::PendingTxnSpec;
+    use eov_common::config::CcConfig;
+    use eov_common::version::SeqNo;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The topological order always respects exact reachability between pending
+        /// transactions, for random DAGs built by only adding edges from older to newer ids.
+        #[test]
+        fn topo_order_respects_every_dependency(
+            edges in proptest::collection::vec((0u64..12, 0u64..12), 0..40)
+        ) {
+            let mut g = DependencyGraph::new(CcConfig {
+                track_exact_reachability: true,
+                ..CcConfig::default()
+            });
+            // Insert 12 pending transactions; edge (a, b) with a < b becomes a dependency
+            // a → b expressed as "b's predecessors include a" at insert time.
+            let mut preds: std::collections::HashMap<u64, Vec<TxnId>> = Default::default();
+            for (a, b) in edges {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                if lo != hi {
+                    preds.entry(hi).or_default().push(TxnId(lo));
+                }
+            }
+            for id in 0u64..12 {
+                let p = preds.remove(&id).unwrap_or_default();
+                g.insert_pending(
+                    PendingTxnSpec {
+                        id: TxnId(id),
+                        start_ts: SeqNo::snapshot_after(0),
+                        read_keys: vec![],
+                        write_keys: vec![],
+                    },
+                    &p,
+                    &[],
+                    1,
+                );
+            }
+
+            let order = g.topo_sort_pending();
+            prop_assert_eq!(order.len(), 12);
+            let pos: std::collections::HashMap<TxnId, usize> =
+                order.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+            for a in 0u64..12 {
+                for b in 0u64..12 {
+                    if a != b && g.reaches_exact(TxnId(a), TxnId(b)) {
+                        prop_assert!(pos[&TxnId(a)] < pos[&TxnId(b)],
+                            "order violates {} -> {}", a, b);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # eov-ledger
+//!
+//! The blockchain ledger substrate: a hash-chained sequence of blocks, each batching the
+//! ordered transactions delivered by the ordering service, together with the per-transaction
+//! validity flags set during the validation phase (Fabric marks invalid transactions in the
+//! block rather than removing them, so the raw ledger throughput counts them too — this is
+//! exactly the raw-vs-effective distinction of Figure 1).
+//!
+//! * [`sha256`] — a dependency-free SHA-256 implementation used for block hashing.
+//! * [`block`] — block headers, block bodies, and per-transaction commit flags.
+//! * [`chain`] — the append-only hash-chained block store with integrity verification
+//!   (the safety properties of Section 3.5: hash-chain integrity, no skipping, no creation).
+
+pub mod block;
+pub mod chain;
+pub mod sha256;
+
+pub use block::{Block, BlockHeader, TxnEntry};
+pub use chain::Ledger;
+pub use sha256::{sha256, Digest};

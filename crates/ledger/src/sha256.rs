@@ -1,0 +1,230 @@
+//! A small, dependency-free SHA-256 implementation (FIPS 180-4).
+//!
+//! The ledger only needs a collision-resistant hash to chain block headers; pulling in a full
+//! crypto crate is unnecessary for the reproduction and is not on the approved dependency
+//! list, so the compression function is implemented here directly. The implementation is the
+//! straightforward textbook one — correctness is what matters (it is checked against the NIST
+//! test vectors below), not throughput, since hashing is a negligible fraction of simulated
+//! block-formation cost.
+
+/// A 32-byte SHA-256 digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as the previous-hash of the genesis block.
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Renders the digest as lowercase hex.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for byte in self.0 {
+            s.push_str(&format!("{byte:02x}"));
+        }
+        s
+    }
+
+    /// Raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Digest({}…)", &self.to_hex()[..8])
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// SHA-256 round constants (first 32 bits of the fractional parts of the cube roots of the
+/// first 64 primes).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash state (first 32 bits of the fractional parts of the square roots of the first
+/// 8 primes).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Computes the SHA-256 digest of `data`.
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut h = H0;
+
+    // Pre-processing: pad to a multiple of 64 bytes with 0x80, zeros, and the 64-bit
+    // message length in bits.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut padded = Vec::with_capacity(data.len() + 72);
+    padded.extend_from_slice(data);
+    padded.push(0x80);
+    while padded.len() % 64 != 56 {
+        padded.push(0);
+    }
+    padded.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 64];
+    for chunk in padded.chunks_exact(64) {
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+        h[5] = h[5].wrapping_add(f);
+        h[6] = h[6].wrapping_add(g);
+        h[7] = h[7].wrapping_add(hh);
+    }
+
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    Digest(out)
+}
+
+/// Convenience: hash the concatenation of several byte slices (avoids intermediate buffers at
+/// call sites that assemble block headers).
+pub fn sha256_concat<'a>(parts: impl IntoIterator<Item = &'a [u8]>) -> Digest {
+    let mut buf = Vec::new();
+    for p in parts {
+        buf.extend_from_slice(p);
+    }
+    sha256(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// NIST / RFC 6234 test vectors.
+    #[test]
+    fn known_test_vectors() {
+        assert_eq!(
+            sha256(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a_vector() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256(&data).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        // Lengths around the 55/56/64-byte padding boundaries exercise the two-block path.
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120] {
+            let data = vec![0x61u8; len];
+            let d1 = sha256(&data);
+            let d2 = sha256(&data);
+            assert_eq!(d1, d2, "deterministic at length {len}");
+        }
+        // 64 bytes of 'a' — cross-checked with an external implementation.
+        assert_eq!(
+            sha256(&vec![b'a'; 64]).to_hex(),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+        );
+    }
+
+    #[test]
+    fn concat_matches_single_buffer() {
+        let whole = sha256(b"hello world");
+        let parts = sha256_concat([b"hello".as_slice(), b" ".as_slice(), b"world".as_slice()]);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn digest_formatting() {
+        let d = sha256(b"abc");
+        assert_eq!(d.to_hex().len(), 64);
+        assert!(format!("{d:?}").starts_with("Digest(ba7816bf"));
+        assert_eq!(format!("{d}").len(), 64);
+        assert_eq!(Digest::ZERO.as_bytes(), &[0u8; 32]);
+    }
+
+    #[test]
+    fn single_bit_difference_changes_digest() {
+        let a = sha256(b"transaction-1");
+        let b = sha256(b"transaction-2");
+        assert_ne!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Hashing is deterministic and any single-byte tamper changes the digest.
+        #[test]
+        fn deterministic_and_tamper_evident(mut data in proptest::collection::vec(any::<u8>(), 1..512), idx in any::<prop::sample::Index>()) {
+            let original = sha256(&data);
+            prop_assert_eq!(original, sha256(&data));
+
+            let i = idx.index(data.len());
+            data[i] ^= 0xff;
+            prop_assert_ne!(original, sha256(&data));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Simulation metrics: everything the paper's figures report.
+
+use eov_common::abort::AbortReason;
+use eov_baselines::api::SystemKind;
+use std::collections::HashMap;
+
+/// The result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Which system was simulated.
+    pub system: SystemKind,
+    /// Simulated run length in seconds.
+    pub duration_s: f64,
+    /// Requests issued by clients.
+    pub offered: u64,
+    /// Transactions that appeared in the ledger (committed or validation-aborted) — the
+    /// numerator of *raw* throughput (Figure 1).
+    pub in_ledger: u64,
+    /// Transactions that committed — the numerator of *effective* throughput.
+    pub committed: u64,
+    /// Aborts by reason, combining early aborts (endorsement / ordering phase) and
+    /// validation-phase aborts (Figure 14's breakdown).
+    pub aborts: HashMap<AbortReason, u64>,
+    /// Blocks appended to the ledger.
+    pub blocks: u64,
+    /// Mean end-to-end latency of committed transactions, in ms (Figure 10 right).
+    pub avg_latency_ms: f64,
+    /// Mean block span of committed transactions (Figure 13 right).
+    pub avg_block_span: f64,
+    /// Mean dependency-graph hops per arrival, FabricSharp only (Figure 13 right).
+    pub avg_hops: f64,
+    /// Measured (not modelled) orderer reordering CPU time per block, in ms (Figure 11 right).
+    pub measured_reorder_ms_per_block: f64,
+    /// Measured arrival-path CPU time per transaction, in µs (Figure 12 right).
+    pub measured_arrival_us_per_txn: f64,
+    /// Committed transactions whose commit required tolerating an anti-rw dependency (i.e.
+    /// transactions a Strong-Serializability system would have aborted); highlighted in
+    /// Figure 15 as "FastFabric#-antiRW".
+    pub committed_with_anti_rw: u64,
+}
+
+impl SimReport {
+    /// Raw throughput in transactions per second.
+    pub fn raw_tps(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            0.0
+        } else {
+            self.in_ledger as f64 / self.duration_s
+        }
+    }
+
+    /// Effective throughput in transactions per second.
+    pub fn effective_tps(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / self.duration_s
+        }
+    }
+
+    /// Total aborted transactions (early + validation).
+    pub fn aborted(&self) -> u64 {
+        self.aborts.values().sum()
+    }
+
+    /// Abort rate relative to the offered load, in `[0, 1]`.
+    pub fn abort_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.aborted() as f64 / self.offered as f64
+        }
+    }
+
+    /// The Figure 14 abort breakdown: fraction of all aborts falling into each of the paper's
+    /// four buckets (`Concurrent-ww`, `2 consecutive rw`, `Simulation abort`, `Others`).
+    pub fn abort_breakdown(&self) -> Vec<(&'static str, f64)> {
+        let total = self.aborted().max(1) as f64;
+        let mut buckets: HashMap<&'static str, u64> = HashMap::new();
+        for (reason, count) in &self.aborts {
+            *buckets.entry(reason.figure14_bucket()).or_insert(0) += count;
+        }
+        let mut out: Vec<(&'static str, f64)> = ["Concurrent-ww", "2 consecutive rw", "Simulation abort", "Others"]
+            .iter()
+            .map(|name| (*name, buckets.get(name).copied().unwrap_or(0) as f64 / total))
+            .collect();
+        // Keep deterministic order for table output.
+        out.sort_by(|a, b| a.0.cmp(b.0));
+        out
+    }
+
+    /// Aborts recorded for a specific reason.
+    pub fn aborts_for(&self, reason: AbortReason) -> u64 {
+        self.aborts.get(&reason).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        let mut aborts = HashMap::new();
+        aborts.insert(AbortReason::StaleRead, 30);
+        aborts.insert(AbortReason::ConcurrentWriteWrite, 10);
+        aborts.insert(AbortReason::CrossBlockRead, 10);
+        SimReport {
+            system: SystemKind::Fabric,
+            duration_s: 10.0,
+            offered: 1_000,
+            in_ledger: 900,
+            committed: 850,
+            aborts,
+            blocks: 9,
+            avg_latency_ms: 800.0,
+            avg_block_span: 1.5,
+            avg_hops: 0.0,
+            measured_reorder_ms_per_block: 0.0,
+            measured_arrival_us_per_txn: 0.0,
+            committed_with_anti_rw: 0,
+        }
+    }
+
+    #[test]
+    fn throughput_and_abort_rates() {
+        let r = report();
+        assert_eq!(r.raw_tps(), 90.0);
+        assert_eq!(r.effective_tps(), 85.0);
+        assert_eq!(r.aborted(), 50);
+        assert!((r.abort_rate() - 0.05).abs() < 1e-12);
+        assert_eq!(r.aborts_for(AbortReason::StaleRead), 30);
+        assert_eq!(r.aborts_for(AbortReason::UnreorderableCycle), 0);
+    }
+
+    #[test]
+    fn abort_breakdown_sums_to_one_over_the_four_buckets() {
+        let r = report();
+        let breakdown = r.abort_breakdown();
+        assert_eq!(breakdown.len(), 4);
+        let total: f64 = breakdown.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let ww = breakdown.iter().find(|(n, _)| *n == "Concurrent-ww").unwrap().1;
+        assert!((ww - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_and_zero_offered_are_safe() {
+        let mut r = report();
+        r.duration_s = 0.0;
+        r.offered = 0;
+        assert_eq!(r.raw_tps(), 0.0);
+        assert_eq!(r.effective_tps(), 0.0);
+        assert_eq!(r.abort_rate(), 0.0);
+    }
+}

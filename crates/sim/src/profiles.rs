@@ -1,0 +1,170 @@
+//! Pipeline cost profiles: the calibration constants that stand in for the paper's testbed.
+//!
+//! The paper runs on a cluster of Xeon E5-1650 machines where vanilla Fabric saturates at
+//! ≈677 raw tps (Figure 1) and FastFabric at ≈3114 raw tps (Section 5.4). The simulator
+//! reproduces those ceilings with a small set of per-phase costs; the *relative* behaviour of
+//! the five systems then follows entirely from their concurrency-control decisions, which are
+//! the real implementations, not models.
+//!
+//! Two aspects are modelled rather than measured, and both are documented here:
+//!
+//! * **Validation cost** — validation is Fabric's bottleneck phase; each block pays a fixed
+//!   overhead (crypto, state commit, gossip) plus a per-transaction cost (endorsement policy
+//!   check + MVCC check + write).
+//! * **Reordering cost** — the wall-clock cost of the orderer-side reordering, calibrated to
+//!   the paper's measurements (Fabric++: 4.3 ms at 50-txn blocks, 401 ms at 500; Focc-l:
+//!   0.12 ms and 5.19 ms; FabricSharp: small, shifted to the arrival path).
+
+use eov_baselines::api::SystemKind;
+
+/// Per-phase simulated costs of the EOV pipeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PipelineProfile {
+    /// Human-readable profile name ("Fabric testbed", "FastFabric testbed").
+    pub name: &'static str,
+    /// Fixed endorsement cost per transaction (contract execution, signing), in ms.
+    pub endorse_base_ms: f64,
+    /// Network + consensus latency between the client broadcast and the orderer seeing the
+    /// transaction, in ms.
+    pub ordering_latency_ms: f64,
+    /// Fixed per-block validation/commit overhead (block crypto, state DB commit), in ms.
+    pub per_block_overhead_ms: f64,
+    /// Per-transaction validation cost (endorsement policy + MVCC check + write apply), in ms.
+    pub per_txn_validate_ms: f64,
+    /// Whether the execute phase holds Fabric's read-write lock against block commit. When
+    /// `true` (vanilla Fabric only), validation of a block additionally waits for in-flight
+    /// simulations to drain.
+    pub endorsement_lock: bool,
+}
+
+impl PipelineProfile {
+    /// The Fabric testbed of Sections 5.1–5.3: saturates at ≈677 raw tps with 100-txn blocks.
+    pub fn fabric() -> Self {
+        PipelineProfile {
+            name: "Fabric testbed",
+            endorse_base_ms: 3.0,
+            ordering_latency_ms: 15.0,
+            per_block_overhead_ms: 40.0,
+            per_txn_validate_ms: 1.08,
+            endorsement_lock: false,
+        }
+    }
+
+    /// The same testbed but for the vanilla-Fabric execute-phase lock semantics. Only the
+    /// vanilla system uses this; every other system removed the lock.
+    pub fn fabric_with_lock() -> Self {
+        PipelineProfile {
+            endorsement_lock: true,
+            ..Self::fabric()
+        }
+    }
+
+    /// The FastFabric testbed of Section 5.4: endorsers, storage and validators are split, so
+    /// the per-transaction validation cost drops by roughly the paper's 4.5× speedup.
+    pub fn fast_fabric() -> Self {
+        PipelineProfile {
+            name: "FastFabric testbed",
+            endorse_base_ms: 1.0,
+            ordering_latency_ms: 8.0,
+            per_block_overhead_ms: 12.0,
+            per_txn_validate_ms: 0.20,
+            endorsement_lock: false,
+        }
+    }
+
+    /// The profile a given system runs on top of a base profile: vanilla Fabric keeps the
+    /// execute-phase lock, every other system removes it (Fabric++/FabricSharp replace it with
+    /// snapshot reads).
+    pub fn for_system(base: PipelineProfile, system: SystemKind) -> PipelineProfile {
+        PipelineProfile {
+            endorsement_lock: base.endorsement_lock || system == SystemKind::Fabric,
+            ..base
+        }
+    }
+
+    /// Validation service time for a block of `txns` transactions, in ms.
+    pub fn validation_ms(&self, txns: usize) -> f64 {
+        self.per_block_overhead_ms + self.per_txn_validate_ms * txns as f64
+    }
+
+    /// Modelled orderer-side reordering cost for a batch of `batch` transactions, in ms,
+    /// calibrated to the measurements reported in Section 5.3.
+    pub fn reorder_ms(&self, system: SystemKind, batch: usize) -> f64 {
+        let b = batch as f64;
+        match system {
+            // Fabric and Focc-s do nothing at block formation.
+            SystemKind::Fabric | SystemKind::FoccS => 0.0,
+            // Fabric++ enumerates cycles over the block's conflict graph: ~4.3 ms at 50 txns,
+            // ~401 ms at 500 — roughly quadratic in the batch size.
+            SystemKind::FabricPlusPlus => 4.3 * (b / 50.0) * (b / 50.0),
+            // Focc-l's sort-based greedy pass: 0.12 ms at 50, 5.19 ms at 500.
+            SystemKind::FoccL => 0.12 * (b / 50.0) * (b / 50.0) * 0.65 + 0.04 * (b / 50.0),
+            // FabricSharp shifts the heavy lifting to the arrival path; block formation is a
+            // topological sort plus ww restoration, linear with a small constant.
+            SystemKind::FabricSharp => 0.5 + 0.02 * b,
+        }
+    }
+
+    /// The raw-throughput ceiling implied by the validation bottleneck for a given block size,
+    /// in transactions per second. Used by calibration tests and the experiment harness to
+    /// sanity-check the profile.
+    pub fn raw_ceiling_tps(&self, block_size: usize) -> f64 {
+        1_000.0 * block_size as f64 / self.validation_ms(block_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_profile_saturates_near_the_papers_677_tps() {
+        let p = PipelineProfile::fabric();
+        let ceiling = p.raw_ceiling_tps(100);
+        assert!(
+            (600.0..750.0).contains(&ceiling),
+            "Fabric raw ceiling at 100-txn blocks should be ≈677 tps, got {ceiling:.0}"
+        );
+    }
+
+    #[test]
+    fn fast_fabric_profile_is_roughly_4_5x_faster() {
+        let fabric = PipelineProfile::fabric();
+        let fast = PipelineProfile::fast_fabric();
+        let speedup = fast.raw_ceiling_tps(100) / fabric.raw_ceiling_tps(100);
+        assert!(
+            (3.5..6.0).contains(&speedup),
+            "FastFabric speedup should be ≈4.5x, got {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn small_blocks_lower_the_validation_ceiling() {
+        let p = PipelineProfile::fabric();
+        assert!(p.raw_ceiling_tps(50) < p.raw_ceiling_tps(200));
+        assert!(p.raw_ceiling_tps(200) < p.raw_ceiling_tps(500));
+    }
+
+    #[test]
+    fn reorder_costs_match_the_papers_measurements() {
+        let p = PipelineProfile::fabric();
+        let fpp_50 = p.reorder_ms(SystemKind::FabricPlusPlus, 50);
+        let fpp_500 = p.reorder_ms(SystemKind::FabricPlusPlus, 500);
+        assert!((3.0..6.0).contains(&fpp_50), "{fpp_50}");
+        assert!((350.0..450.0).contains(&fpp_500), "{fpp_500}");
+
+        let foccl_500 = p.reorder_ms(SystemKind::FoccL, 500);
+        assert!(foccl_500 < 10.0, "{foccl_500}");
+        assert!(p.reorder_ms(SystemKind::Fabric, 500) == 0.0);
+        assert!(p.reorder_ms(SystemKind::FabricSharp, 500) < 15.0);
+    }
+
+    #[test]
+    fn only_vanilla_fabric_keeps_the_lock() {
+        let base = PipelineProfile::fabric();
+        assert!(PipelineProfile::for_system(base, SystemKind::Fabric).endorsement_lock);
+        assert!(!PipelineProfile::for_system(base, SystemKind::FabricSharp).endorsement_lock);
+        assert!(!PipelineProfile::for_system(base, SystemKind::FabricPlusPlus).endorsement_lock);
+        assert!(PipelineProfile::fabric_with_lock().endorsement_lock);
+    }
+}

@@ -1,0 +1,476 @@
+//! The discrete-event simulation of the EOV pipeline.
+//!
+//! One [`Simulator::run`] call plays a single system (one of the five concurrency controls) on
+//! one workload for a configured simulated duration and returns a [`SimReport`]. The pipeline
+//! stages and their costs come from the [`PipelineProfile`]; the commit/abort decisions come
+//! from the *actual* concurrency-control implementations — nothing about serializability is
+//! modelled statistically.
+//!
+//! The event flow mirrors Figure 2 of the paper: clients submit at a fixed request rate →
+//! endorsing peers simulate against a block snapshot (taking `endorse_base + read_interval ×
+//! reads` simulated ms) → after the client delay and consensus latency the transaction reaches
+//! the ordering service, which runs the system's arrival logic → the block-formation condition
+//! (size or timeout) cuts a block, paying the system's reordering cost → the block enters the
+//! single validator, which is the pipeline's bottleneck → validation applies the MVCC check
+//! (except under FabricSharp) and commits the writes, advancing the chain that subsequent
+//! endorsements read from.
+
+use crate::events::{ms, Event, EventQueue, SimTime};
+use crate::metrics::SimReport;
+use crate::profiles::PipelineProfile;
+use eov_baselines::api::{
+    apply_without_validation, mvcc_validate_and_apply, ConcurrencyControl, SystemKind,
+};
+use eov_common::abort::AbortReason;
+use eov_common::config::{BlockConfig, CcConfig, WorkloadParams};
+use eov_common::txn::{Transaction, TxnId, TxnStatus};
+use eov_common::version::SeqNo;
+use eov_ledger::{Block, Ledger};
+use eov_vstore::{MultiVersionStore, SnapshotManager};
+use eov_workload::generator::{WorkloadGenerator, WorkloadKind};
+use fabricsharp_core::endorser::SnapshotEndorser;
+use std::collections::HashMap;
+
+/// Everything one simulation run needs.
+#[derive(Clone, Debug)]
+pub struct SimulationConfig {
+    /// Which concurrency control to run.
+    pub system: SystemKind,
+    /// Which workload to generate.
+    pub workload: WorkloadKind,
+    /// Workload parameters (Table 2).
+    pub params: WorkloadParams,
+    /// Block-formation parameters.
+    pub block: BlockConfig,
+    /// FabricSharp concurrency-control parameters (ignored by the baselines).
+    pub cc: CcConfig,
+    /// Pipeline cost profile (Fabric or FastFabric testbed).
+    pub profile: PipelineProfile,
+    /// Simulated run length in seconds (clients stop submitting after this; the pipeline then
+    /// drains).
+    pub duration_s: f64,
+    /// RNG seed for the workload generator.
+    pub seed: u64,
+}
+
+impl SimulationConfig {
+    /// A configuration with the paper's defaults (Fabric testbed, Table 2 defaults, 15
+    /// simulated seconds).
+    pub fn new(system: SystemKind, workload: WorkloadKind) -> Self {
+        SimulationConfig {
+            system,
+            workload,
+            params: WorkloadParams::default(),
+            block: BlockConfig::default(),
+            cc: CcConfig::default(),
+            profile: PipelineProfile::fabric(),
+            duration_s: 15.0,
+            seed: 42,
+        }
+    }
+
+    /// Same as [`SimulationConfig::new`] but on the FastFabric testbed profile (Section 5.4).
+    pub fn fast_fabric(system: SystemKind, workload: WorkloadKind) -> Self {
+        SimulationConfig {
+            profile: PipelineProfile::fast_fabric(),
+            ..Self::new(system, workload)
+        }
+    }
+}
+
+/// The simulator. Stateless — all state lives inside a single `run` call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Simulator;
+
+impl Simulator {
+    /// Runs one configuration to completion and reports the metrics.
+    pub fn run(config: &SimulationConfig) -> SimReport {
+        let profile = PipelineProfile::for_system(config.profile, config.system);
+        let mut generator = WorkloadGenerator::new(config.workload.clone(), config.params, config.seed);
+
+        // Substrate: state store, ledger, snapshot manager, endorser, concurrency control.
+        let mut store = MultiVersionStore::new();
+        store.seed_genesis(generator.genesis());
+        let snapshots = SnapshotManager::new();
+        snapshots.register_block(0);
+        let endorser = SnapshotEndorser::new(snapshots.clone());
+        let mut ledger = Ledger::new();
+        let mut cc: Box<dyn ConcurrencyControl> = config.system.build(config.cc);
+
+        // Event loop state.
+        let mut queue = EventQueue::new();
+        let horizon: SimTime = ms(config.duration_s * 1_000.0);
+        let interarrival_us: SimTime =
+            (1_000_000f64 / config.params.request_rate_tps as f64).round().max(1.0) as SimTime;
+        let mut last_event_at: SimTime = 0;
+
+        // Counters.
+        let mut offered: u64 = 0;
+        let mut in_ledger: u64 = 0;
+        let mut committed: u64 = 0;
+        let mut committed_with_anti_rw: u64 = 0;
+        let mut blocks_formed: u64 = 0;
+        let mut latency_sum_us: u128 = 0;
+        let mut block_span_sum: u64 = 0;
+        let mut validation_aborts: HashMap<AbortReason, u64> = HashMap::new();
+        let mut submitted_at_by_txn: HashMap<TxnId, SimTime> = HashMap::new();
+        let mut validator_free_at: SimTime = 0;
+        // For the vanilla-Fabric execute-phase lock: before a block can commit (write lock),
+        // the in-flight simulations holding the read lock must drain, which on average costs
+        // one full simulation duration per block. Every other system replaced the lock with
+        // snapshot reads and pays nothing.
+        let lock_penalty_ms: f64 = if profile.endorsement_lock {
+            profile.endorse_base_ms
+                + config.params.read_interval_ms as f64 * config.params.reads_per_txn as f64
+        } else {
+            0.0
+        };
+
+        queue.schedule(0, Event::ClientSubmit { request_no: 1 });
+
+        while let Some((at, event)) = queue.pop() {
+            let now = at;
+            last_event_at = last_event_at.max(now);
+            match event {
+                Event::ClientSubmit { request_no } => {
+                    if now >= horizon {
+                        continue;
+                    }
+                    offered += 1;
+                    let template = generator.next_template();
+                    let endorse_ms = profile.endorse_base_ms
+                        + config.params.read_interval_ms as f64 * template.read_count() as f64;
+                    let snapshot_at_submit = store.last_block();
+                    let done_at = now + ms(endorse_ms);
+                    queue.schedule(
+                        done_at,
+                        Event::EndorseDone {
+                            txn: Self::materialise(
+                                &endorser,
+                                &store,
+                                request_no,
+                                snapshot_at_submit,
+                                &template,
+                                profile.endorsement_lock,
+                            ),
+                            submitted_at: now,
+                        },
+                    );
+                    // Next client request.
+                    queue.schedule(now + interarrival_us, Event::ClientSubmit { request_no: request_no + 1 });
+                }
+
+                Event::EndorseDone { mut txn, submitted_at } => {
+                    // Under the vanilla-Fabric lock the simulation effectively ran against the
+                    // latest block at completion time; re-simulate if the chain advanced.
+                    if profile.endorsement_lock && txn.snapshot_block < store.last_block() {
+                        txn = Self::resimulate(&endorser, &store, &txn, store.last_block(), &mut generator);
+                    }
+                    if cc.on_endorsement(&txn, store.last_block()).is_accept() {
+                        let broadcast_ms = config.params.client_delay_ms as f64 + profile.ordering_latency_ms;
+                        queue.schedule(now + ms(broadcast_ms), Event::OrdererReceive { txn, submitted_at });
+                    }
+                }
+
+                Event::OrdererReceive { txn, submitted_at } => {
+                    let id = txn.id;
+                    if cc.on_arrival(txn).is_accept() {
+                        submitted_at_by_txn.insert(id, submitted_at);
+                        if cc.pending_len() == 1 {
+                            queue.schedule(
+                                now + ms(config.block.block_timeout_ms as f64),
+                                Event::BlockTimeout { blocks_formed_at_arming: blocks_formed },
+                            );
+                        }
+                        if cc.pending_len() >= config.block.max_txns_per_block {
+                            Self::cut_block(
+                                &mut cc, &profile, config.system, &mut blocks_formed,
+                                &mut submitted_at_by_txn, &mut queue, now,
+                            );
+                        }
+                    }
+                }
+
+                Event::BlockTimeout { blocks_formed_at_arming } => {
+                    if blocks_formed == blocks_formed_at_arming && cc.pending_len() > 0 {
+                        Self::cut_block(
+                            &mut cc, &profile, config.system, &mut blocks_formed,
+                            &mut submitted_at_by_txn, &mut queue, now,
+                        );
+                    }
+                }
+
+                Event::BlockDelivered { txns, submitted_at, formed_at: _ } => {
+                    let start = now.max(validator_free_at);
+                    let service = profile.validation_ms(txns.len()) + lock_penalty_ms;
+                    validator_free_at = start + ms(service);
+                    queue.schedule(validator_free_at, Event::BlockValidated { txns, submitted_at });
+                }
+
+                Event::BlockValidated { txns, submitted_at } => {
+                    let block_no = ledger.height() + 1;
+                    // Count commits that tolerate an anti-rw dependency (a Strong-Serializability
+                    // system would have aborted them) before the writes are applied.
+                    let anti_rw = Self::count_anti_rw_commits(&store, &txns);
+
+                    let statuses = if cc.needs_peer_validation() {
+                        mvcc_validate_and_apply(&mut store, block_no, &txns)
+                    } else {
+                        committed_with_anti_rw += anti_rw;
+                        apply_without_validation(&mut store, block_no, &txns)
+                    };
+
+                    let mut block = Block::build(block_no, ledger.tip_hash(), txns);
+                    let mut outcome: Vec<(Transaction, TxnStatus)> = Vec::with_capacity(block.entries.len());
+                    for ((entry, status), submitted) in
+                        block.entries.iter_mut().zip(statuses).zip(submitted_at)
+                    {
+                        entry.status = status;
+                        in_ledger += 1;
+                        match status {
+                            TxnStatus::Committed => {
+                                committed += 1;
+                                latency_sum_us += (now.saturating_sub(submitted)) as u128;
+                                block_span_sum +=
+                                    entry.txn.end_ts.map(|e| e.block).unwrap_or(block_no)
+                                        .saturating_sub(entry.txn.snapshot_block);
+                            }
+                            TxnStatus::Aborted(reason) => {
+                                *validation_aborts.entry(reason).or_insert(0) += 1;
+                            }
+                            TxnStatus::Pending => unreachable!("validation assigns final statuses"),
+                        }
+                        outcome.push((entry.txn.clone(), status));
+                    }
+                    ledger.append(block).expect("simulator blocks always chain");
+                    snapshots.register_block(block_no);
+                    cc.on_block_committed(block_no, &outcome);
+                }
+            }
+        }
+
+        // Assemble the report.
+        let mut aborts = validation_aborts;
+        for (reason, count) in cc.early_aborts() {
+            *aborts.entry(reason).or_insert(0) += count;
+        }
+        let duration_s = (last_event_at as f64 / 1_000_000.0).max(config.duration_s);
+        let committed_f = committed.max(1) as f64;
+        SimReport {
+            system: config.system,
+            duration_s,
+            offered,
+            in_ledger,
+            committed,
+            aborts,
+            blocks: ledger.height(),
+            avg_latency_ms: latency_sum_us as f64 / 1_000.0 / committed_f,
+            avg_block_span: block_span_sum as f64 / committed_f,
+            avg_hops: cc.avg_hops(),
+            measured_reorder_ms_per_block: cc.reorder_time().as_secs_f64() * 1_000.0
+                / ledger.height().max(1) as f64,
+            measured_arrival_us_per_txn: cc.arrival_time().as_secs_f64() * 1_000_000.0
+                / offered.max(1) as f64,
+            committed_with_anti_rw,
+        }
+    }
+
+    /// Runs the same configuration for every system and returns the reports in
+    /// [`SystemKind::all`] order — the shape of every multi-system figure.
+    pub fn run_all_systems(base: &SimulationConfig) -> Vec<SimReport> {
+        SystemKind::all()
+            .into_iter()
+            .map(|system| {
+                let config = SimulationConfig { system, ..base.clone() };
+                Self::run(&config)
+            })
+            .collect()
+    }
+
+    /// Produces the endorsed transaction for a template against the given snapshot.
+    fn materialise(
+        endorser: &SnapshotEndorser,
+        store: &MultiVersionStore,
+        request_no: u64,
+        snapshot_block: u64,
+        template: &eov_workload::generator::TxnTemplate,
+        _locked: bool,
+    ) -> Transaction {
+        endorser.simulate_at(store, TxnId(request_no), snapshot_block, |ctx| template.run(ctx))
+    }
+
+    /// Re-simulates a transaction against a newer snapshot (vanilla Fabric's lock semantics:
+    /// the simulation always completes against the latest block). The original template is not
+    /// retained, so the re-simulation simply refreshes the read versions in place — the write
+    /// values are recomputed from the refreshed reads only for balance-style single-key
+    /// updates; for everything else the key sets are what matter to the concurrency analysis.
+    fn resimulate(
+        _endorser: &SnapshotEndorser,
+        store: &MultiVersionStore,
+        txn: &Transaction,
+        latest_block: u64,
+        _generator: &mut WorkloadGenerator,
+    ) -> Transaction {
+        let mut refreshed = txn.clone();
+        refreshed.snapshot_block = latest_block;
+        let mut reads = eov_common::rwset::ReadSet::new();
+        for item in txn.read_set.iter() {
+            let version = store
+                .read_at(&item.key, latest_block)
+                .ok()
+                .flatten()
+                .map(|vv| vv.version)
+                .unwrap_or(SeqNo::zero());
+            reads.record(item.key.clone(), version);
+        }
+        refreshed.read_set = reads;
+        refreshed
+    }
+
+    /// Cuts a block from the CC's pending set and schedules its delivery after the modelled
+    /// reordering cost.
+    #[allow(clippy::too_many_arguments)]
+    fn cut_block(
+        cc: &mut Box<dyn ConcurrencyControl>,
+        profile: &PipelineProfile,
+        system: SystemKind,
+        blocks_formed: &mut u64,
+        submitted_at_by_txn: &mut HashMap<TxnId, SimTime>,
+        queue: &mut EventQueue,
+        now: SimTime,
+    ) {
+        let txns = cc.cut_block();
+        if txns.is_empty() {
+            return;
+        }
+        *blocks_formed += 1;
+        let submitted_at: Vec<SimTime> = txns
+            .iter()
+            .map(|t| submitted_at_by_txn.remove(&t.id).unwrap_or(now))
+            .collect();
+        let delay = profile.reorder_ms(system, txns.len()) + 2.0;
+        queue.schedule(
+            now + ms(delay),
+            Event::BlockDelivered { txns, submitted_at, formed_at: now },
+        );
+    }
+
+    /// How many transactions in this (about to be committed) block read a version that is no
+    /// longer the latest — i.e. commits that tolerate an anti-rw dependency. Evaluated
+    /// serially in block order against the pre-block state plus earlier in-block writes,
+    /// exactly like the MVCC check would be.
+    fn count_anti_rw_commits(store: &MultiVersionStore, txns: &[Transaction]) -> u64 {
+        let mut in_block_writes: HashMap<&str, ()> = HashMap::new();
+        let mut count = 0;
+        for txn in txns {
+            let stale = txn.read_set.iter().any(|read| {
+                let overwritten_in_block = in_block_writes.contains_key(read.key.as_str());
+                let latest = store
+                    .latest(&read.key)
+                    .map(|vv| vv.version)
+                    .unwrap_or(SeqNo::zero());
+                overwritten_in_block || latest != read.version
+            });
+            if stale {
+                count += 1;
+            }
+            for write in txn.write_set.iter() {
+                in_block_writes.insert(write.key.as_str(), ());
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(system: SystemKind) -> SimulationConfig {
+        let mut config = SimulationConfig::new(system, WorkloadKind::ModifiedSmallbank);
+        config.duration_s = 3.0;
+        config.params.num_accounts = 1_000;
+        config.params.request_rate_tps = 400;
+        config.block.max_txns_per_block = 50;
+        config
+    }
+
+    #[test]
+    fn noop_workload_commits_everything_for_every_system() {
+        for system in SystemKind::all() {
+            let mut config = quick_config(system);
+            config.workload = WorkloadKind::NoOp;
+            let report = Simulator::run(&config);
+            assert!(report.offered > 0, "{system}");
+            assert_eq!(report.aborted(), 0, "{system}: no-op transactions never conflict");
+            assert_eq!(report.committed, report.in_ledger, "{system}");
+            assert!(report.effective_tps() > 0.0, "{system}");
+            assert!(report.blocks > 0, "{system}");
+        }
+    }
+
+    #[test]
+    fn skewed_kv_updates_abort_under_fabric_but_not_under_fabricsharp_raw() {
+        let mut fabric_cfg = quick_config(SystemKind::Fabric);
+        fabric_cfg.workload = WorkloadKind::KvUpdate { theta: 1.0 };
+        let fabric = Simulator::run(&fabric_cfg);
+
+        let mut sharp_cfg = quick_config(SystemKind::FabricSharp);
+        sharp_cfg.workload = WorkloadKind::KvUpdate { theta: 1.0 };
+        let sharp = Simulator::run(&sharp_cfg);
+
+        // Under skew Fabric loses a visible fraction of its raw throughput to validation
+        // aborts, while FabricSharp's effective throughput stays at (or above) Fabric's.
+        assert!(fabric.aborted() > 0, "skewed updates must abort under Fabric");
+        assert!(fabric.effective_tps() < fabric.raw_tps());
+        assert!(
+            sharp.effective_tps() >= fabric.effective_tps() * 0.95,
+            "Fabric# {:.0} tps should not trail Fabric {:.0} tps",
+            sharp.effective_tps(),
+            fabric.effective_tps()
+        );
+    }
+
+    #[test]
+    fn reports_are_deterministic_for_a_seed() {
+        let config = quick_config(SystemKind::FabricSharp);
+        let a = Simulator::run(&config);
+        let b = Simulator::run(&config);
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.in_ledger, b.in_ledger);
+        assert_eq!(a.blocks, b.blocks);
+    }
+
+    #[test]
+    fn run_all_systems_returns_one_report_per_system() {
+        let mut base = quick_config(SystemKind::Fabric);
+        base.duration_s = 1.0;
+        let reports = Simulator::run_all_systems(&base);
+        assert_eq!(reports.len(), 5);
+        let kinds: Vec<SystemKind> = reports.iter().map(|r| r.system).collect();
+        assert_eq!(kinds, SystemKind::all().to_vec());
+    }
+
+    #[test]
+    fn fast_fabric_profile_reaches_a_much_higher_ceiling() {
+        let mut slow = SimulationConfig::new(SystemKind::Fabric, WorkloadKind::CreateAccount);
+        slow.duration_s = 3.0;
+        slow.params.request_rate_tps = 4_000;
+        slow.params.num_accounts = 1_000;
+
+        let mut fast = SimulationConfig::fast_fabric(SystemKind::Fabric, WorkloadKind::CreateAccount);
+        fast.duration_s = 3.0;
+        fast.params.request_rate_tps = 4_000;
+        fast.params.num_accounts = 1_000;
+
+        let slow_report = Simulator::run(&slow);
+        let fast_report = Simulator::run(&fast);
+        assert!(
+            fast_report.effective_tps() > 2.0 * slow_report.effective_tps(),
+            "FastFabric ({:.0} tps) should far exceed Fabric ({:.0} tps)",
+            fast_report.effective_tps(),
+            slow_report.effective_tps()
+        );
+    }
+}

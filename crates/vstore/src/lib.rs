@@ -1,0 +1,25 @@
+//! # eov-vstore
+//!
+//! The versioned state substrate of the EOV blockchain:
+//!
+//! * [`mvstore::MultiVersionStore`] — the peers' state database. Every entry is a
+//!   `(key, version, value)` tuple whose version is the `(block, seq)` slot of the transaction
+//!   that installed it (Figure 2a of the paper). The store keeps *all* versions so that any
+//!   block snapshot can be read back, which is exactly the storage-snapshot mechanism
+//!   Algorithm 1 relies on (Section 4.2).
+//! * [`snapshot`] — block snapshot handles and the snapshot manager that pins/prunes them.
+//! * [`index`] — the orderer-side committed-transaction indices `CommittedWriteTxns` (CW) and
+//!   `CommittedReadTxns` (CR) of Section 4.3. The paper stores these in LevelDB; here they are
+//!   ordered in-memory maps exposing the same query surface (`Before`, `Last`, range-from).
+//! * [`pending`] — the in-memory `PendingWriteTxns` (PW) / `PendingReadTxns` (PR) indices over
+//!   the not-yet-ordered transactions.
+
+pub mod index;
+pub mod mvstore;
+pub mod pending;
+pub mod snapshot;
+
+pub use index::{CommittedReadIndex, CommittedWriteIndex};
+pub use mvstore::{MultiVersionStore, VersionedValue};
+pub use pending::PendingIndex;
+pub use snapshot::{SnapshotManager, SnapshotView};

@@ -1,0 +1,370 @@
+//! Multi-versioned key-value store.
+//!
+//! The state of an EOV blockchain after each block is a versioned key-value store: every entry
+//! is a `(key, ver, val)` tuple where `ver = (block, seq)` identifies the transaction that
+//! last updated the key (Section 2.1, Figure 2a). Vanilla Fabric only materialises the latest
+//! version; FabricSharp additionally needs to *read old block snapshots* during endorsement
+//! (Algorithm 1 / Section 4.2), so this store retains the full version history per key and can
+//! answer "what was the value of `key` as of the snapshot after block `b`?" directly.
+//!
+//! The paper implements this with LevelDB storage snapshots; an in-memory multi-version map
+//! provides the same query surface (latest read, snapshot read, version history) and is the
+//! documented substitution in `DESIGN.md`.
+
+use eov_common::error::{CommonError, Result};
+use eov_common::rwset::{Key, Value};
+use eov_common::txn::Transaction;
+use eov_common::version::SeqNo;
+use std::collections::BTreeMap;
+
+/// A single version of a value: the commit slot that installed it plus the bytes themselves.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VersionedValue {
+    /// The commit slot `(block, seq)` of the transaction that wrote this version.
+    pub version: SeqNo,
+    /// The stored value.
+    pub value: Value,
+}
+
+/// A multi-versioned key-value store with per-block snapshot reads.
+///
+/// Writes are applied block by block (commits are totally ordered), so the per-key version
+/// vectors are naturally sorted by version and snapshot reads are a binary search.
+#[derive(Clone, Debug, Default)]
+pub struct MultiVersionStore {
+    /// Per-key version chains, each sorted by ascending version.
+    data: BTreeMap<Key, Vec<VersionedValue>>,
+    /// Height of the last committed block (0 = only the genesis state exists).
+    last_block: u64,
+    /// Versions strictly below this block height may have been garbage collected; snapshot
+    /// reads below it are refused.
+    pruned_below: u64,
+}
+
+impl MultiVersionStore {
+    /// Creates an empty store at height 0 (genesis).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds the genesis state (block 0). Each key receives version `(0, i+1)` in iteration
+    /// order, mirroring how a bootstrap block would install them.
+    pub fn seed_genesis(&mut self, entries: impl IntoIterator<Item = (Key, Value)>) {
+        for (i, (key, value)) in entries.into_iter().enumerate() {
+            self.put(key, SeqNo::new(0, i as u32 + 1), value);
+        }
+    }
+
+    /// Height of the last committed block.
+    pub fn last_block(&self) -> u64 {
+        self.last_block
+    }
+
+    /// Number of distinct keys ever written.
+    pub fn key_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Total number of retained versions across all keys (used by pruning tests and metrics).
+    pub fn version_count(&self) -> usize {
+        self.data.values().map(Vec::len).sum()
+    }
+
+    /// Installs a single versioned value. Versions must be installed in non-decreasing order
+    /// per key; this is guaranteed by the block-at-a-time commit protocol.
+    pub fn put(&mut self, key: Key, version: SeqNo, value: Value) {
+        let chain = self.data.entry(key).or_default();
+        debug_assert!(
+            chain.last().map(|v| v.version <= version).unwrap_or(true),
+            "versions must be installed in order"
+        );
+        chain.push(VersionedValue { version, value });
+    }
+
+    /// Applies the write sets of the committed transactions of block `block_no`, in order.
+    /// The `committed` slice must already exclude aborted transactions. Advances the store's
+    /// height to `block_no`.
+    pub fn apply_block<'a>(
+        &mut self,
+        block_no: u64,
+        committed: impl IntoIterator<Item = (&'a Transaction, u32)>,
+    ) {
+        for (txn, seq) in committed {
+            let version = SeqNo::new(block_no, seq);
+            for item in txn.write_set.iter() {
+                self.put(item.key.clone(), version, item.value.clone());
+            }
+        }
+        self.last_block = self.last_block.max(block_no);
+    }
+
+    /// Marks a block as committed without any writes (e.g. a block whose transactions all
+    /// aborted). The height still advances so later snapshots exist.
+    pub fn commit_empty_block(&mut self, block_no: u64) {
+        self.last_block = self.last_block.max(block_no);
+    }
+
+    /// The latest version of `key`, if any.
+    pub fn latest(&self, key: &Key) -> Option<&VersionedValue> {
+        self.data.get(key).and_then(|chain| chain.last())
+    }
+
+    /// The latest value of `key`, if any (convenience wrapper over [`Self::latest`]).
+    pub fn latest_value(&self, key: &Key) -> Option<&Value> {
+        self.latest(key).map(|v| &v.value)
+    }
+
+    /// Reads `key` as of the snapshot after block `block`: the newest version whose block
+    /// component is `<= block`. Returns an error if that snapshot has been pruned.
+    pub fn read_at(&self, key: &Key, block: u64) -> Result<Option<&VersionedValue>> {
+        if block < self.pruned_below {
+            return Err(CommonError::SnapshotPruned(block));
+        }
+        let Some(chain) = self.data.get(key) else {
+            return Ok(None);
+        };
+        // Versions are sorted; find the last one with version.block <= block.
+        let bound = SeqNo::new(block, u32::MAX);
+        let idx = chain.partition_point(|v| v.version <= bound);
+        Ok(if idx == 0 { None } else { Some(&chain[idx - 1]) })
+    }
+
+    /// Full version history of `key` (oldest first). Empty if the key was never written.
+    pub fn history(&self, key: &Key) -> &[VersionedValue] {
+        self.data.get(key).map(|c| c.as_slice()).unwrap_or(&[])
+    }
+
+    /// Iterates over `(key, latest version)` pairs in key order.
+    pub fn iter_latest(&self) -> impl Iterator<Item = (&Key, &VersionedValue)> {
+        self.data
+            .iter()
+            .filter_map(|(k, chain)| chain.last().map(|v| (k, v)))
+    }
+
+    /// Garbage-collects versions that are no longer reachable from any snapshot at or above
+    /// `block`: for each key, every version strictly older than the newest version visible at
+    /// `block` is dropped. Snapshot reads below `block` are refused afterwards.
+    pub fn prune_versions_below(&mut self, block: u64) {
+        let bound = SeqNo::new(block, u32::MAX);
+        for chain in self.data.values_mut() {
+            let idx = chain.partition_point(|v| v.version <= bound);
+            if idx > 1 {
+                chain.drain(..idx - 1);
+            }
+        }
+        self.pruned_below = self.pruned_below.max(block);
+    }
+
+    /// The lowest block height whose snapshot is still readable.
+    pub fn pruned_below(&self) -> u64 {
+        self.pruned_below
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eov_common::rwset::{ReadSet, WriteSet};
+    use eov_common::txn::TxnId;
+
+    fn k(s: &str) -> Key {
+        Key::new(s)
+    }
+
+    fn txn_writing(id: u64, snapshot: u64, writes: &[(&str, i64)]) -> Transaction {
+        let mut ws = WriteSet::new();
+        for (key, val) in writes {
+            ws.record(k(key), Value::from_i64(*val));
+        }
+        Transaction::new(TxnId(id), snapshot, ReadSet::new(), ws)
+    }
+
+    /// Reproduces the state evolution of Figure 2a: after block 1 the keys A/B/C hold versions
+    /// (1,1)/(1,2)/(1,3); block 2's first transaction rewrites B and C to version (2,1).
+    #[test]
+    fn figure2a_state_evolution() {
+        let mut store = MultiVersionStore::new();
+        store.put(k("A"), SeqNo::new(1, 1), Value::from_i64(100));
+        store.put(k("B"), SeqNo::new(1, 2), Value::from_i64(101));
+        store.put(k("C"), SeqNo::new(1, 3), Value::from_i64(102));
+        store.commit_empty_block(1);
+
+        let t = txn_writing(1, 0, &[("B", 201), ("C", 201)]);
+        store.apply_block(2, [(&t, 1)]);
+
+        // State after block 2 (the paper's middle table).
+        assert_eq!(store.latest(&k("A")).unwrap().version, SeqNo::new(1, 1));
+        assert_eq!(store.latest(&k("B")).unwrap().version, SeqNo::new(2, 1));
+        assert_eq!(store.latest(&k("C")).unwrap().version, SeqNo::new(2, 1));
+        assert_eq!(store.latest_value(&k("C")).unwrap().as_i64(), Some(201));
+
+        // Snapshot reads: as of block 1, C still holds 102 at version (1,3).
+        let c1 = store.read_at(&k("C"), 1).unwrap().unwrap();
+        assert_eq!(c1.version, SeqNo::new(1, 3));
+        assert_eq!(c1.value.as_i64(), Some(102));
+        // As of block 2 it holds the new value.
+        let c2 = store.read_at(&k("C"), 2).unwrap().unwrap();
+        assert_eq!(c2.value.as_i64(), Some(201));
+        assert_eq!(store.last_block(), 2);
+    }
+
+    #[test]
+    fn read_at_missing_key_or_future_key_is_none() {
+        let mut store = MultiVersionStore::new();
+        assert!(store.read_at(&k("X"), 5).unwrap().is_none());
+        store.put(k("X"), SeqNo::new(3, 1), Value::from_i64(1));
+        // Before block 3 the key did not exist.
+        assert!(store.read_at(&k("X"), 2).unwrap().is_none());
+        assert!(store.read_at(&k("X"), 3).unwrap().is_some());
+    }
+
+    #[test]
+    fn genesis_seed_assigns_block_zero_versions() {
+        let mut store = MultiVersionStore::new();
+        store.seed_genesis([(k("A"), Value::from_i64(5)), (k("B"), Value::from_i64(6))]);
+        assert_eq!(store.latest(&k("A")).unwrap().version, SeqNo::new(0, 1));
+        assert_eq!(store.latest(&k("B")).unwrap().version, SeqNo::new(0, 2));
+        assert_eq!(store.key_count(), 2);
+        assert_eq!(store.last_block(), 0);
+    }
+
+    #[test]
+    fn apply_block_skips_nothing_and_orders_versions() {
+        let mut store = MultiVersionStore::new();
+        store.seed_genesis([(k("A"), Value::from_i64(0))]);
+        let t1 = txn_writing(1, 0, &[("A", 10)]);
+        let t2 = txn_writing(2, 0, &[("A", 20)]);
+        store.apply_block(1, [(&t1, 1), (&t2, 2)]);
+        let hist = store.history(&k("A"));
+        assert_eq!(hist.len(), 3);
+        assert_eq!(hist[2].version, SeqNo::new(1, 2));
+        assert_eq!(store.latest_value(&k("A")).unwrap().as_i64(), Some(20));
+        assert_eq!(store.version_count(), 3);
+    }
+
+    #[test]
+    fn pruning_drops_old_versions_but_keeps_visible_ones() {
+        let mut store = MultiVersionStore::new();
+        store.seed_genesis([(k("A"), Value::from_i64(0))]);
+        for b in 1..=5u64 {
+            let t = txn_writing(b, b - 1, &[("A", b as i64)]);
+            store.apply_block(b, [(&t, 1)]);
+        }
+        assert_eq!(store.history(&k("A")).len(), 6);
+        store.prune_versions_below(3);
+        // The newest version visible at block 3 (written in block 3) must survive, plus the
+        // later ones.
+        let hist = store.history(&k("A"));
+        assert_eq!(hist.first().unwrap().version.block, 3);
+        assert_eq!(hist.len(), 3);
+        // Snapshot reads below the pruning horizon are refused.
+        assert_eq!(store.read_at(&k("A"), 2), Err(CommonError::SnapshotPruned(2)));
+        // Reads at or above the horizon still work.
+        assert_eq!(
+            store.read_at(&k("A"), 4).unwrap().unwrap().value.as_i64(),
+            Some(4)
+        );
+        assert_eq!(store.pruned_below(), 3);
+    }
+
+    #[test]
+    fn iter_latest_walks_keys_in_order() {
+        let mut store = MultiVersionStore::new();
+        store.seed_genesis([(k("b"), Value::from_i64(2)), (k("a"), Value::from_i64(1))]);
+        let keys: Vec<&str> = store.iter_latest().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    /// Reference model: a naive map from (key, block) to the value as of that block, built by
+    /// replaying writes in order.
+    fn reference_read(
+        writes: &[(u8, u64, i64)], // (key id, block, value), sorted by block
+        key: u8,
+        block: u64,
+    ) -> Option<i64> {
+        writes
+            .iter()
+            .filter(|(k, b, _)| *k == key && *b <= block)
+            .next_back()
+            .map(|(_, _, v)| *v)
+    }
+
+    proptest! {
+        /// Snapshot reads from the multi-version store always agree with a naive replay.
+        #[test]
+        fn snapshot_reads_match_reference(
+            raw_writes in proptest::collection::vec((0u8..6, 1u64..12, -100i64..100), 0..60),
+            queries in proptest::collection::vec((0u8..6, 0u64..12), 1..30),
+        ) {
+            // Sort by block so versions are installed in order, and give each write within a
+            // block a distinct sequence slot.
+            let mut writes = raw_writes;
+            writes.sort_by_key(|(_, b, _)| *b);
+
+            let mut store = MultiVersionStore::new();
+            let mut seq_in_block: HashMap<u64, u32> = HashMap::new();
+            for (key, block, val) in &writes {
+                let seq = seq_in_block.entry(*block).or_insert(0);
+                *seq += 1;
+                store.put(Key::new(format!("k{key}")), SeqNo::new(*block, *seq), Value::from_i64(*val));
+            }
+
+            for (key, block) in queries {
+                let got = store
+                    .read_at(&Key::new(format!("k{key}")), block)
+                    .unwrap()
+                    .map(|v| v.value.as_i64().unwrap());
+                let expected = reference_read(&writes, key, block);
+                prop_assert_eq!(got, expected);
+            }
+        }
+
+        /// Pruning never changes the result of reads at or above the pruning horizon.
+        #[test]
+        fn pruning_preserves_visible_reads(
+            raw_writes in proptest::collection::vec((0u8..4, 1u64..10, -50i64..50), 1..40),
+            horizon in 0u64..10,
+        ) {
+            let mut writes = raw_writes;
+            writes.sort_by_key(|(_, b, _)| *b);
+            let mut store = MultiVersionStore::new();
+            let mut seq_in_block: HashMap<u64, u32> = HashMap::new();
+            for (key, block, val) in &writes {
+                let seq = seq_in_block.entry(*block).or_insert(0);
+                *seq += 1;
+                store.put(Key::new(format!("k{key}")), SeqNo::new(*block, *seq), Value::from_i64(*val));
+            }
+
+            let before: Vec<Option<i64>> = (0u8..4)
+                .flat_map(|k| (horizon..10).map(move |b| (k, b)))
+                .map(|(k, b)| {
+                    store
+                        .read_at(&Key::new(format!("k{k}")), b)
+                        .unwrap()
+                        .map(|v| v.value.as_i64().unwrap())
+                })
+                .collect();
+
+            store.prune_versions_below(horizon);
+
+            let after: Vec<Option<i64>> = (0u8..4)
+                .flat_map(|k| (horizon..10).map(move |b| (k, b)))
+                .map(|(k, b)| {
+                    store
+                        .read_at(&Key::new(format!("k{k}")), b)
+                        .unwrap()
+                        .map(|v| v.value.as_i64().unwrap())
+                })
+                .collect();
+
+            prop_assert_eq!(before, after);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's Figure 2a / Table 1 scenario, replayed against all five systems.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example reorder_walkthrough
+//! ```
+//!
+//! Five transactions contend on keys A, B, C after block 2. Vanilla Fabric commits only Txn3;
+//! Fabric++'s in-block reordering saves Txn4 and Txn5 instead; FabricSharp's fine-grained
+//! analysis additionally rejects the hopeless transactions before they ever occupy a block
+//! slot. The example prints the per-system commit matrix in the same shape as Table 1.
+
+use fabricsharp::baselines::api::{mvcc_validate_and_apply, SystemKind};
+use fabricsharp::core::theory::figure2a_fixture;
+use fabricsharp::prelude::*;
+
+fn main() {
+    println!("Figure 2a / Table 1: Txn2..Txn5 contending on keys A, B, C after block 2\n");
+    let (_, txns) = figure2a_fixture();
+    for txn in &txns {
+        let reads: Vec<String> = txn
+            .read_set
+            .iter()
+            .map(|r| format!("{}@{}", r.key, r.version))
+            .collect();
+        let writes: Vec<String> = txn.write_set.iter().map(|w| w.key.to_string()).collect();
+        println!("  Txn{}: reads {:?} writes {:?}", txn.id.0, reads, writes);
+    }
+    println!();
+
+    let mut matrix: Vec<(SystemKind, Vec<(u64, &'static str)>)> = Vec::new();
+    for system in SystemKind::all() {
+        let (store, txns) = figure2a_fixture();
+        let mut cc = system.build(CcConfig::default());
+        // The transactions arrive at the orderer in consensus order Txn2..Txn5, forming block 3.
+        // (We bootstrap the CC's notion of the committed state from the fixture's block-2 write.)
+        let mut block2_writer = Transaction::from_parts(
+            90,
+            1,
+            [],
+            [
+                (Key::new("B"), Value::from_i64(201)),
+                (Key::new("C"), Value::from_i64(201)),
+            ],
+        );
+        block2_writer.end_ts = Some(SeqNo::new(2, 1));
+        cc.on_block_committed(2, &[(block2_writer, TxnStatus::Committed)]);
+
+        let mut outcomes: Vec<(u64, &'static str)> = Vec::new();
+        for txn in txns {
+            let id = txn.id.0;
+            if !cc.on_endorsement(&txn, store.last_block()).is_accept() {
+                outcomes.push((id, "early abort (simulation)"));
+                continue;
+            }
+            if !cc.on_arrival(txn).is_accept() {
+                outcomes.push((id, "early abort (ordering)"));
+            }
+        }
+        let block = cc.cut_block();
+        let mut store = store;
+        let statuses = if cc.needs_peer_validation() {
+            mvcc_validate_and_apply(&mut store, 3, &block)
+        } else {
+            block.iter().map(|_| TxnStatus::Committed).collect()
+        };
+        for (txn, status) in block.iter().zip(statuses) {
+            outcomes.push((
+                txn.id.0,
+                if status.is_committed() { "COMMIT" } else { "abort (validation)" },
+            ));
+        }
+        // Transactions that were neither rejected early nor present in the cut block were
+        // dropped by the system's block-formation reordering (Fabric++'s cycle elimination).
+        for id in 2..=5u64 {
+            if !outcomes.iter().any(|(i, _)| *i == id) {
+                outcomes.push((id, "abort (reordering)"));
+            }
+        }
+        outcomes.sort_by_key(|(id, _)| *id);
+        matrix.push((system, outcomes));
+    }
+
+    println!("{:<10} {:>28} {:>28} {:>28} {:>28}", "System", "Txn2", "Txn3", "Txn4", "Txn5");
+    for (system, outcomes) in &matrix {
+        let cell = |id: u64| -> &str {
+            outcomes
+                .iter()
+                .find(|(i, _)| *i == id)
+                .map(|(_, s)| *s)
+                .unwrap_or("-")
+        };
+        println!(
+            "{:<10} {:>28} {:>28} {:>28} {:>28}",
+            system.label(),
+            cell(2),
+            cell(3),
+            cell(4),
+            cell(5)
+        );
+    }
+    println!(
+        "\nPaper's Table 1: Fabric commits only Txn3; Fabric++ commits Txn4 and Txn5 (one more).\n\
+         FabricSharp reaches the same effective commits as Fabric++ here, but rejects the\n\
+         hopeless transactions before ordering instead of letting them waste block slots."
+    );
+}

@@ -1,0 +1,140 @@
+//! End-to-end integration tests over the synchronous `SimpleChain` pipeline: every system is
+//! driven through execute → order → validate on contended workloads, and the committed
+//! histories are checked against the independent serializability oracle.
+
+use fabricsharp::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a chain seeded with `n` accounts of 1,000 coins each.
+fn seeded_chain(kind: SystemKind, n: usize) -> (SimpleChain, Vec<Key>) {
+    let mut chain = SimpleChain::new(kind);
+    let keys: Vec<Key> = (0..n).map(|i| Key::new(format!("acct:{i}"))).collect();
+    chain.seed(keys.iter().map(|k| (k.clone(), Value::from_i64(1_000))));
+    (chain, keys)
+}
+
+/// Runs `rounds` blocks of `per_block` random transfers over a small, hot account set.
+fn run_contended_workload(kind: SystemKind, seed: u64, rounds: usize, per_block: usize) -> SimpleChain {
+    let (mut chain, keys) = seeded_chain(kind, 8);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..rounds {
+        for _ in 0..per_block {
+            let from = keys[rng.gen_range(0..keys.len())].clone();
+            let to = keys[rng.gen_range(0..keys.len())].clone();
+            let amount = rng.gen_range(1..10i64);
+            let txn = chain.execute(|ctx| {
+                let f = ctx.read_balance(&from);
+                let t = ctx.read_balance(&to);
+                ctx.write(from.clone(), Value::from_i64(f - amount));
+                if from != to {
+                    ctx.write(to.clone(), Value::from_i64(t + amount));
+                }
+            });
+            let _ = chain.submit(txn);
+        }
+        chain.seal_block();
+    }
+    chain
+}
+
+#[test]
+fn every_system_produces_a_serializable_history_under_contention() {
+    for kind in SystemKind::all() {
+        for seed in [1u64, 7, 42] {
+            let chain = run_contended_workload(kind, seed, 6, 10);
+            assert!(
+                is_serializable(chain.committed_history()),
+                "{kind} produced a non-serializable history (seed {seed})"
+            );
+            assert!(chain.ledger().verify_integrity().is_ok(), "{kind}: broken ledger");
+        }
+    }
+}
+
+#[test]
+fn fabric_and_fabricpp_histories_are_strongly_serializable() {
+    // Theorem 1: systems that forbid anti-rw commit strongly serializable schedules.
+    for kind in [SystemKind::Fabric, SystemKind::FabricPlusPlus, SystemKind::FoccL] {
+        let chain = run_contended_workload(kind, 3, 5, 10);
+        assert!(
+            is_strongly_serializable(chain.committed_history()),
+            "{kind}: validation-gated systems must be strongly serializable"
+        );
+    }
+}
+
+#[test]
+fn fabricsharp_commits_at_least_as_much_as_fabric_under_contention() {
+    for seed in [11u64, 23, 59] {
+        let fabric = run_contended_workload(SystemKind::Fabric, seed, 8, 12);
+        let sharp = run_contended_workload(SystemKind::FabricSharp, seed, 8, 12);
+        let fabric_commits = fabric.ledger().committed_txn_count();
+        let sharp_commits = sharp.ledger().committed_txn_count();
+        assert!(
+            sharp_commits >= fabric_commits,
+            "seed {seed}: Fabric# committed {sharp_commits} < Fabric {fabric_commits}"
+        );
+    }
+}
+
+#[test]
+fn balances_are_conserved_when_every_transfer_is_balanced() {
+    // Transfers move money between accounts without creating or destroying it, so the total
+    // balance is invariant no matter which transactions commit — for every system.
+    for kind in SystemKind::all() {
+        let (mut chain, keys) = seeded_chain(kind, 6);
+        let total_before: i64 = keys
+            .iter()
+            .map(|k| chain.latest(k).unwrap().as_i64().unwrap())
+            .sum();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..4 {
+            for _ in 0..8 {
+                let from = keys[rng.gen_range(0..keys.len())].clone();
+                let to = keys[rng.gen_range(0..keys.len())].clone();
+                if from == to {
+                    continue;
+                }
+                let txn = chain.execute(|ctx| {
+                    let f = ctx.read_balance(&from);
+                    let t = ctx.read_balance(&to);
+                    ctx.write(from.clone(), Value::from_i64(f - 5));
+                    ctx.write(to.clone(), Value::from_i64(t + 5));
+                });
+                let _ = chain.submit(txn);
+            }
+            chain.seal_block();
+        }
+        let total_after: i64 = keys
+            .iter()
+            .map(|k| chain.latest(k).unwrap().as_i64().unwrap())
+            .sum();
+        assert_eq!(total_before, total_after, "{kind}: money was created or destroyed");
+    }
+}
+
+#[test]
+fn raw_count_exceeds_committed_count_only_for_validating_systems() {
+    // FabricSharp never places doomed transactions into blocks, so its raw ledger count equals
+    // its committed count; Fabric's raw count includes validation aborts.
+    let fabric = run_contended_workload(SystemKind::Fabric, 5, 6, 12);
+    let sharp = run_contended_workload(SystemKind::FabricSharp, 5, 6, 12);
+    assert!(fabric.ledger().raw_txn_count() >= fabric.ledger().committed_txn_count());
+    assert_eq!(sharp.ledger().raw_txn_count(), sharp.ledger().committed_txn_count());
+}
+
+#[test]
+fn read_only_transactions_commit_under_every_system() {
+    for kind in SystemKind::all() {
+        let (mut chain, keys) = seeded_chain(kind, 4);
+        for key in &keys {
+            let txn = chain.execute(|ctx| {
+                let _ = ctx.read_balance(key);
+            });
+            assert!(chain.submit(txn).is_accept(), "{kind}: read-only submission rejected");
+        }
+        let report = chain.seal_block();
+        assert_eq!(report.committed.len(), keys.len(), "{kind}: read-only txns must commit");
+    }
+}

@@ -1,0 +1,145 @@
+//! Replication and determinism: the paper's safety argument (Section 3.5) requires every
+//! honest orderer, fed the same consensus stream, to perform the same reordering and deliver
+//! identical blocks. These tests drive independent controller replicas from a shared
+//! `ConsensusLog` and compare their outputs, and exercise the hash-commitment mitigation.
+
+use fabricsharp::consensus::adversary::{commitment_of, ClientSubmission, FrontRunningLeader, LeaderPolicy};
+use fabricsharp::consensus::{BlockCutter, ConsensusLog, Submission};
+use fabricsharp::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a stream of moderately contended transactions over 6 keys.
+fn transaction_stream(count: usize, seed: u64) -> Vec<Transaction> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let read_key = Key::new(format!("k{}", rng.gen_range(0..6)));
+            let write_key = Key::new(format!("k{}", rng.gen_range(0..6)));
+            Transaction::from_parts(
+                i as u64 + 1,
+                0,
+                [(read_key, SeqNo::new(0, 1))],
+                [(write_key, Value::from_i64(i as i64))],
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn replicated_fabricsharp_orderers_produce_identical_blocks() {
+    let log = ConsensusLog::new();
+    for txn in transaction_stream(120, 4) {
+        log.append(Submission { txn, submitter: 0 });
+    }
+
+    // Two independent replicas replay the same log with the same block-formation rule.
+    let mut replicas: Vec<(FabricSharpCC, Vec<Vec<u64>>)> = (0..2)
+        .map(|_| (FabricSharpCC::with_defaults(), Vec::new()))
+        .collect();
+    for (cc, blocks) in &mut replicas {
+        let mut cursor = log.cursor();
+        while let Some(submission) = cursor.poll() {
+            let _ = cc.on_arrival(submission.txn);
+            if cc.pending_len() >= 30 {
+                blocks.push(cc.cut_block().iter().map(|t| t.id.0).collect());
+            }
+        }
+        let tail = cc.cut_block();
+        if !tail.is_empty() {
+            blocks.push(tail.iter().map(|t| t.id.0).collect());
+        }
+    }
+    let (_, blocks_a) = &replicas[0];
+    let (_, blocks_b) = &replicas[1];
+    assert_eq!(blocks_a, blocks_b, "replicas disagreed on block contents or order");
+    assert!(!blocks_a.is_empty());
+}
+
+#[test]
+fn block_cutters_fed_from_the_same_log_cut_identical_batches() {
+    let log = ConsensusLog::new();
+    let producer = log.producer();
+    for txn in transaction_stream(57, 9) {
+        producer.submit(txn, 1);
+    }
+    log.ingest();
+
+    let config = BlockConfig { max_txns_per_block: 10, block_timeout_ms: 1_000 };
+    let cut_ids = |mut cutter: BlockCutter| -> Vec<Vec<u64>> {
+        let mut cursor = log.cursor();
+        let mut blocks = Vec::new();
+        let mut t = 0u64;
+        while let Some(submission) = cursor.poll() {
+            t += 1;
+            if let Some(batch) = cutter.enqueue(submission.txn, t) {
+                blocks.push(batch.txns.iter().map(|x| x.id.0).collect());
+            }
+        }
+        if let Some(batch) = cutter.flush(t + 1) {
+            blocks.push(batch.txns.iter().map(|x| x.id.0).collect());
+        }
+        blocks
+    };
+    let a = cut_ids(BlockCutter::new(config));
+    let b = cut_ids(BlockCutter::new(config));
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 6, "57 transactions at 10 per block = 5 full blocks + 1 flush");
+}
+
+#[test]
+fn simulator_runs_are_reproducible_for_identical_configurations() {
+    let mut config = SimulationConfig::new(SystemKind::FabricSharp, WorkloadKind::ModifiedSmallbank);
+    config.duration_s = 2.0;
+    config.params.num_accounts = 500;
+    config.params.request_rate_tps = 300;
+    let a = Simulator::run(&config);
+    let b = Simulator::run(&config);
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.in_ledger, b.in_ledger);
+    assert_eq!(a.blocks, b.blocks);
+    assert_eq!(a.aborted(), b.aborted());
+}
+
+#[test]
+fn front_running_leader_aborts_the_victim_but_commitments_defeat_it() {
+    let victim = Transaction::from_parts(
+        7,
+        0,
+        [(Key::new("asset"), SeqNo::new(0, 1))],
+        [(Key::new("asset"), Value::from_i64(1))],
+    );
+
+    // Plaintext submission: the fabricated conflicting transaction is sequenced first and the
+    // victim closes an unreorderable cycle, so FabricSharp aborts it.
+    let mut attacker = FrontRunningLeader::new(Key::new("asset"), |v: &Transaction| {
+        let mut attack = v.clone();
+        attack.id = TxnId(1_000_000 + v.id.0);
+        attack
+    });
+    let order = attacker.propose_order(vec![ClientSubmission::Plain(victim.clone())]);
+    let mut cc = FabricSharpCC::with_defaults();
+    let mut decisions = Vec::new();
+    for submission in order {
+        let txn = submission.reveal().expect("plaintext submissions always reveal");
+        decisions.push((txn.id.0, cc.on_arrival(txn).is_accept()));
+    }
+    assert_eq!(decisions.len(), 2);
+    assert!(decisions[0].1, "the front-running transaction is accepted");
+    assert!(!decisions[1].1, "the victim is aborted by the attack");
+
+    // Commitment submission: the leader sees only the hash, injects nothing, and the victim
+    // commits. A post-ordering mutation of the sealed contents is detected.
+    let mut blinded = FrontRunningLeader::new(Key::new("asset"), |v: &Transaction| v.clone());
+    let order = blinded.propose_order(vec![ClientSubmission::committed(victim.clone())]);
+    assert_eq!(order.len(), 1);
+    assert_eq!(blinded.attacks_launched, 0);
+    let mut cc = FabricSharpCC::with_defaults();
+    let revealed = order.into_iter().next().unwrap().reveal().unwrap();
+    assert!(cc.on_arrival(revealed).is_accept());
+
+    let mut tampered = victim.clone();
+    tampered.write_set.record(Key::new("asset"), Value::from_i64(999));
+    let bad = ClientSubmission::Committed { commitment: commitment_of(&victim), sealed: tampered };
+    assert!(bad.reveal().is_err(), "a mutated reveal must not match its commitment");
+}
