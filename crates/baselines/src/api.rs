@@ -143,14 +143,21 @@ pub fn mvcc_validate_and_apply(
     for (i, txn) in txns.iter().enumerate() {
         let slot = i as u32 + 1;
         let stale = txn.read_set.iter().any(|read| {
-            let latest = store.latest(&read.key).map(|vv| vv.version).unwrap_or(SeqNo::zero());
+            let latest = store
+                .latest(&read.key)
+                .map(|vv| vv.version)
+                .unwrap_or(SeqNo::zero());
             latest != read.version
         });
         if stale {
             statuses.push(TxnStatus::Aborted(AbortReason::StaleRead));
         } else {
             for write in txn.write_set.iter() {
-                store.put(write.key.clone(), SeqNo::new(block_no, slot), write.value.clone());
+                store.put(
+                    write.key.clone(),
+                    SeqNo::new(block_no, slot),
+                    write.value.clone(),
+                );
             }
             statuses.push(TxnStatus::Committed);
         }
@@ -241,7 +248,12 @@ mod tests {
         let mut store = seeded_store();
         // Reading a key that does not exist is recorded at version (0,0); it stays valid as
         // long as nobody creates the key first.
-        let reader = Transaction::from_parts(1, 0, [(k("new"), SeqNo::zero())], [(k("C"), Value::from_i64(1))]);
+        let reader = Transaction::from_parts(
+            1,
+            0,
+            [(k("new"), SeqNo::zero())],
+            [(k("C"), Value::from_i64(1))],
+        );
         let statuses = mvcc_validate_and_apply(&mut store, 1, &[reader]);
         assert_eq!(statuses[0], TxnStatus::Committed);
     }
@@ -249,7 +261,12 @@ mod tests {
     #[test]
     fn apply_without_validation_commits_everything() {
         let mut store = seeded_store();
-        let t1 = Transaction::from_parts(1, 0, [(k("A"), SeqNo::new(9, 9))], [(k("A"), Value::from_i64(5))]);
+        let t1 = Transaction::from_parts(
+            1,
+            0,
+            [(k("A"), SeqNo::new(9, 9))],
+            [(k("A"), Value::from_i64(5))],
+        );
         let statuses = apply_without_validation(&mut store, 1, &[t1]);
         assert_eq!(statuses, vec![TxnStatus::Committed]);
         assert_eq!(store.latest_value(&k("A")).unwrap().as_i64(), Some(5));

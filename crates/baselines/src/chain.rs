@@ -7,15 +7,17 @@
 //! the writes, append to the hash-chained ledger). It is the quickest way to see any of the
 //! five systems make commit/abort decisions on a concrete scenario.
 
-use crate::api::{apply_without_validation, mvcc_validate_and_apply, ConcurrencyControl, SystemKind};
+use crate::api::{
+    apply_without_validation, mvcc_validate_and_apply, ConcurrencyControl, SystemKind,
+};
 use eov_common::abort::AbortReason;
 use eov_common::config::CcConfig;
 use eov_common::rwset::{Key, Value};
 use eov_common::txn::{CommitDecision, Transaction, TxnId, TxnStatus};
 use eov_ledger::{Block, Ledger};
 use eov_vstore::MultiVersionStore;
-use fabricsharp_core::endorser::{SimulationContext, SnapshotEndorser};
 use eov_vstore::SnapshotManager;
+use fabricsharp_core::endorser::{SimulationContext, SnapshotEndorser};
 
 /// Outcome of sealing one block.
 #[derive(Clone, Debug, Default)]
@@ -94,7 +96,8 @@ impl SimpleChain {
     {
         let id = TxnId(self.next_txn_id);
         self.next_txn_id += 1;
-        self.endorser.simulate_at(&self.store, id, snapshot_block, logic)
+        self.endorser
+            .simulate_at(&self.store, id, snapshot_block, logic)
     }
 
     /// Order phase: submits an endorsed transaction to the system's concurrency control.
@@ -259,7 +262,11 @@ mod tests {
                 2,
                 "{kind}: every submission is accounted for"
             );
-            assert_eq!(report.committed.len(), 1, "{kind}: exactly one debit commits");
+            assert_eq!(
+                report.committed.len(),
+                1,
+                "{kind}: exactly one debit commits"
+            );
             assert_eq!(chain.latest(&alice).unwrap().as_i64(), Some(90), "{kind}");
         }
     }

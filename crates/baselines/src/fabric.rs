@@ -72,7 +72,12 @@ mod tests {
     use eov_common::rwset::{Key, Value};
 
     fn txn(id: u64) -> Transaction {
-        Transaction::from_parts(id, 0, [(Key::new("A"), SeqNo::new(0, 1))], [(Key::new("B"), Value::from_i64(1))])
+        Transaction::from_parts(
+            id,
+            0,
+            [(Key::new("A"), SeqNo::new(0, 1))],
+            [(Key::new("B"), Value::from_i64(1))],
+        )
     }
 
     #[test]

@@ -90,16 +90,15 @@ impl FabricPlusPlusCC {
         // Step (c): break cycles greedily — while the graph has a cycle, abort the transaction
         // with the highest total degree among nodes on some cycle.
         let mut alive: Vec<bool> = vec![true; n];
-        loop {
-            let Some(cycle_nodes) = find_cycle_nodes(&edges, &alive) else {
-                break;
-            };
+        while let Some(cycle_nodes) = find_cycle_nodes(&edges, &alive) {
             let victim = cycle_nodes
                 .iter()
                 .copied()
                 .max_by_key(|&i| {
                     let out = edges[i].iter().filter(|j| alive[**j]).count();
-                    let inc = (0..n).filter(|&j| alive[j] && edges[j].contains(&i)).count();
+                    let inc = (0..n)
+                        .filter(|&j| alive[j] && edges[j].contains(&i))
+                        .count();
                     (out + inc, i)
                 })
                 .expect("cycle is non-empty");
@@ -136,7 +135,8 @@ impl FabricPlusPlusCC {
             }
         }
 
-        let mut by_index: HashMap<usize, Transaction> = candidates.into_iter().enumerate().collect();
+        let mut by_index: HashMap<usize, Transaction> =
+            candidates.into_iter().enumerate().collect();
         order
             .into_iter()
             .filter_map(|i| by_index.remove(&i))
@@ -161,7 +161,8 @@ fn find_cycle_nodes(edges: &[HashSet<usize>], alive: &[bool]) -> Option<Vec<usiz
             continue;
         }
         // Iterative DFS with explicit path tracking.
-        let mut stack: Vec<(usize, Vec<usize>)> = vec![(start, edges[start].iter().copied().collect())];
+        let mut stack: Vec<(usize, Vec<usize>)> =
+            vec![(start, edges[start].iter().copied().collect())];
         colour[start] = C::Grey;
         let mut path = vec![start];
         while let Some((node, children)) = stack.last_mut() {
@@ -278,7 +279,9 @@ mod tests {
             id,
             snapshot,
             reads.iter().map(|(key, v)| (k(key), SeqNo::new(v.0, v.1))),
-            writes.iter().map(|key| (k(key), Value::from_i64(id as i64))),
+            writes
+                .iter()
+                .map(|key| (k(key), Value::from_i64(id as i64))),
         )
     }
 
@@ -317,9 +320,18 @@ mod tests {
         let ids: Vec<u64> = block.iter().map(|t| t.id.0).collect();
         // Txn2 dropped (stale read of B); one of {3} aborted to break the cycle with 4
         // (3 writes C which 4/5 read; 4 writes B which 3 reads).
-        assert!(!ids.contains(&2), "stale Txn2 must be dropped before reordering");
-        assert!(ids.contains(&4) && ids.contains(&5), "Txn4 and Txn5 must survive, got {ids:?}");
-        assert!(!ids.contains(&3), "Txn3 is the cycle-breaking victim, got {ids:?}");
+        assert!(
+            !ids.contains(&2),
+            "stale Txn2 must be dropped before reordering"
+        );
+        assert!(
+            ids.contains(&4) && ids.contains(&5),
+            "Txn4 and Txn5 must survive, got {ids:?}"
+        );
+        assert!(
+            !ids.contains(&3),
+            "Txn3 is the cycle-breaking victim, got {ids:?}"
+        );
         // Readers of C (4, 5) must come before any writer of C — trivially true since 3 was
         // dropped; the block is just [4, 5] in some order with slots assigned.
         assert_eq!(block.len(), 2);
@@ -332,7 +344,9 @@ mod tests {
         // Arrival order: writer of X first, then a reader of X — reordering must flip them so
         // the reader survives validation.
         assert!(cc.on_arrival(txn(1, 0, &[], &["X"])).is_accept());
-        assert!(cc.on_arrival(txn(2, 0, &[("X", (0, 1))], &["Y"])).is_accept());
+        assert!(cc
+            .on_arrival(txn(2, 0, &[("X", (0, 1))], &["Y"]))
+            .is_accept());
         let block = cc.cut_block();
         let ids: Vec<u64> = block.iter().map(|t| t.id.0).collect();
         assert_eq!(ids, vec![2, 1]);
@@ -343,8 +357,12 @@ mod tests {
         let mut cc = FabricPlusPlusCC::new();
         // t1 reads A writes B, t2 reads B writes A → reader-before-writer constraints both
         // ways → cycle → exactly one of them is aborted.
-        assert!(cc.on_arrival(txn(1, 0, &[("A", (0, 1))], &["B"])).is_accept());
-        assert!(cc.on_arrival(txn(2, 0, &[("B", (0, 2))], &["A"])).is_accept());
+        assert!(cc
+            .on_arrival(txn(1, 0, &[("A", (0, 1))], &["B"]))
+            .is_accept());
+        assert!(cc
+            .on_arrival(txn(2, 0, &[("B", (0, 2))], &["A"]))
+            .is_accept());
         let block = cc.cut_block();
         assert_eq!(block.len(), 1);
         let aborted: u64 = cc.early_aborts().iter().map(|(_, c)| c).sum();
@@ -359,7 +377,9 @@ mod tests {
         let mut writer = txn(9, 0, &[], &["A"]);
         writer.end_ts = Some(SeqNo::new(1, 1));
         cc.on_block_committed(1, &[(writer, TxnStatus::Committed)]);
-        assert!(cc.on_arrival(txn(1, 0, &[("A", (0, 1))], &["B"])).is_accept());
+        assert!(cc
+            .on_arrival(txn(1, 0, &[("A", (0, 1))], &["B"]))
+            .is_accept());
         assert!(cc.cut_block().is_empty());
         assert_eq!(cc.early_aborts(), vec![(AbortReason::StaleRead, 1)]);
     }

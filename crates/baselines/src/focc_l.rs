@@ -112,7 +112,10 @@ impl ConcurrencyControl for FoccLightCC {
         let order = Self::greedy_order(&batch);
         self.reorder_time += started.elapsed();
 
-        debug_assert_eq!(order.iter().copied().collect::<HashSet<_>>().len(), batch.len());
+        debug_assert_eq!(
+            order.iter().copied().collect::<HashSet<_>>().len(),
+            batch.len()
+        );
         let mut slots: Vec<Option<Transaction>> = batch.into_iter().map(Some).collect();
         order
             .into_iter()
@@ -144,7 +147,9 @@ mod tests {
             id,
             0,
             reads.iter().map(|(key, v)| (k(key), SeqNo::new(v.0, v.1))),
-            writes.iter().map(|key| (k(key), Value::from_i64(id as i64))),
+            writes
+                .iter()
+                .map(|key| (k(key), Value::from_i64(id as i64))),
         )
     }
 
@@ -189,7 +194,10 @@ mod tests {
         // All three write the same key but nobody reads it: no reader→writer edges, so the
         // greedy pass emits them in arrival order.
         let block = cc.cut_block();
-        assert_eq!(block.iter().map(|t| t.id.0).collect::<Vec<_>>(), vec![4, 2, 7]);
+        assert_eq!(
+            block.iter().map(|t| t.id.0).collect::<Vec<_>>(),
+            vec![4, 2, 7]
+        );
         assert_eq!(cc.next_block, 2);
     }
 

@@ -64,7 +64,11 @@ impl FoccSerializableCC {
     }
 
     /// Committed transactions concurrent with a transaction having the given timestamps.
-    fn concurrent_committed(&self, start_ts: SeqNo, assumed_end: SeqNo) -> impl Iterator<Item = &CommittedFootprint> {
+    fn concurrent_committed(
+        &self,
+        start_ts: SeqNo,
+        assumed_end: SeqNo,
+    ) -> impl Iterator<Item = &CommittedFootprint> {
         self.committed
             .iter()
             .filter(move |c| concurrent((start_ts, assumed_end), (c.start_ts, c.end_ts)))
@@ -75,21 +79,15 @@ impl FoccSerializableCC {
         // Against committed, concurrent transactions.
         let committed_hit = self
             .concurrent_committed(txn.start_ts(), assumed_end)
-            .any(|c| {
-                c.write_keys
-                    .iter()
-                    .any(|k| txn.write_set.contains(k))
-            });
+            .any(|c| c.write_keys.iter().any(|k| txn.write_set.contains(k)));
         if committed_hit {
             return true;
         }
         // Against pending transactions (all pending transactions are concurrent with the
         // incoming one — Proposition 2).
-        self.pending.iter().any(|p| {
-            p.write_set
-                .keys()
-                .any(|k| txn.write_set.contains(k))
-        })
+        self.pending
+            .iter()
+            .any(|p| p.write_set.keys().any(|k| txn.write_set.contains(k)))
     }
 
     /// Whether the incoming transaction is a pivot: it has both an outgoing rw conflict (it
@@ -201,7 +199,9 @@ mod tests {
             id,
             snapshot,
             reads.iter().map(|(key, v)| (k(key), SeqNo::new(v.0, v.1))),
-            writes.iter().map(|key| (k(key), Value::from_i64(id as i64))),
+            writes
+                .iter()
+                .map(|key| (k(key), Value::from_i64(id as i64))),
         )
     }
 
@@ -210,8 +210,14 @@ mod tests {
         let mut cc = FoccSerializableCC::new();
         assert!(cc.on_arrival(txn(1, 0, &[], &["H"])).is_accept());
         let decision = cc.on_arrival(txn(2, 0, &[], &["H"]));
-        assert_eq!(decision, CommitDecision::Reject(AbortReason::ConcurrentWriteWrite));
-        assert_eq!(cc.early_aborts(), vec![(AbortReason::ConcurrentWriteWrite, 1)]);
+        assert_eq!(
+            decision,
+            CommitDecision::Reject(AbortReason::ConcurrentWriteWrite)
+        );
+        assert_eq!(
+            cc.early_aborts(),
+            vec![(AbortReason::ConcurrentWriteWrite, 1)]
+        );
         // FabricSharp would accept both (Lemma 4) — this over-abortion is exactly the gap the
         // write-hot-ratio experiment (Figure 11) exposes.
     }
@@ -220,12 +226,19 @@ mod tests {
     fn dangerous_structure_is_aborted_but_single_rw_is_not() {
         let mut cc = FoccSerializableCC::new();
         // Pending txn1 reads A and writes B.
-        assert!(cc.on_arrival(txn(1, 0, &[("A", (0, 1))], &["B"])).is_accept());
+        assert!(cc
+            .on_arrival(txn(1, 0, &[("A", (0, 1))], &["B"]))
+            .is_accept());
         // txn2 reads B (outgoing rw vs txn1's write) but writes nothing anyone reads: accepted.
-        assert!(cc.on_arrival(txn(2, 0, &[("B", (0, 2))], &["C"])).is_accept());
+        assert!(cc
+            .on_arrival(txn(2, 0, &[("B", (0, 2))], &["C"]))
+            .is_accept());
         // txn3 reads C (outgoing rw vs txn2) AND writes A (incoming rw vs txn1): pivot → abort.
         let decision = cc.on_arrival(txn(3, 0, &[("C", (0, 3))], &["A"]));
-        assert_eq!(decision, CommitDecision::Reject(AbortReason::DangerousStructure));
+        assert_eq!(
+            decision,
+            CommitDecision::Reject(AbortReason::DangerousStructure)
+        );
     }
 
     #[test]
@@ -240,7 +253,10 @@ mod tests {
 
         // An incoming transaction simulated against block 0 writing H: concurrent c-ww.
         let decision = cc.on_arrival(txn(2, 0, &[], &["H"]));
-        assert_eq!(decision, CommitDecision::Reject(AbortReason::ConcurrentWriteWrite));
+        assert_eq!(
+            decision,
+            CommitDecision::Reject(AbortReason::ConcurrentWriteWrite)
+        );
 
         // The same write from a snapshot *after* the committed transaction is not concurrent
         // and is accepted.

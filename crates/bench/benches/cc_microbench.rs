@@ -36,24 +36,32 @@ fn sample_txns(count: usize, write_hot_ratio: f64) -> Vec<Transaction> {
 fn bench_arrival(c: &mut Criterion) {
     let txns = sample_txns(200, 0.2);
     let mut group = c.benchmark_group("arrival_processing");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for system in SystemKind::all() {
-        group.bench_with_input(BenchmarkId::new("200_txns", system.label()), &system, |b, &system| {
-            b.iter(|| {
-                let mut cc = system.build(CcConfig::default());
-                for txn in &txns {
-                    let _ = cc.on_arrival(txn.clone());
-                }
-                cc.pending_len()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("200_txns", system.label()),
+            &system,
+            |b, &system| {
+                b.iter(|| {
+                    let mut cc = system.build(CcConfig::default());
+                    for txn in &txns {
+                        let _ = cc.on_arrival(txn.clone());
+                    }
+                    cc.pending_len()
+                });
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_block_formation(c: &mut Criterion) {
     let mut group = c.benchmark_group("block_formation");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for batch in [50usize, 200] {
         let txns = sample_txns(batch, 0.2);
         for system in SystemKind::all() {
@@ -80,7 +88,9 @@ fn bench_bloom_vs_exact_reachability(c: &mut Criterion) {
     // reachability vs bloom + exact shadow sets.
     let txns = sample_txns(200, 0.3);
     let mut group = c.benchmark_group("fabricsharp_reachability_ablation");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for (label, exact) in [("bloom_only", false), ("bloom_plus_exact", true)] {
         group.bench_function(label, |b| {
             b.iter(|| {
@@ -98,5 +108,10 @@ fn bench_bloom_vs_exact_reachability(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_arrival, bench_block_formation, bench_bloom_vs_exact_reachability);
+criterion_group!(
+    benches,
+    bench_arrival,
+    bench_block_formation,
+    bench_bloom_vs_exact_reachability
+);
 criterion_main!(benches);

@@ -31,7 +31,9 @@ fn layered_graph(n: u64, fanin: u64, config: CcConfig) -> DependencyGraph {
 
 fn bench_bloom(c: &mut Criterion) {
     let mut group = c.benchmark_group("bloom_filter");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("insert_1000", |b| {
         b.iter(|| {
             let mut f = BloomFilter::new(4096, 3);
@@ -70,7 +72,9 @@ fn bench_bloom(c: &mut Criterion) {
 
 fn bench_graph_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("dependency_graph");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for &n in &[100u64, 400] {
         group.bench_with_input(BenchmarkId::new("build_layered", n), &n, |b, &n| {
             b.iter(|| layered_graph(n, 3, CcConfig::default()).len());
@@ -80,7 +84,10 @@ fn bench_graph_ops(c: &mut Criterion) {
             b.iter(|| g.topo_sort_pending().len());
         });
         group.bench_with_input(BenchmarkId::new("cycle_check_bloom", n), &n, |b, _| {
-            b.iter(|| g.would_close_cycle(&[TxnId(n - 1)], &[TxnId(0)]).is_acyclic());
+            b.iter(|| {
+                g.would_close_cycle(&[TxnId(n - 1)], &[TxnId(0)])
+                    .is_acyclic()
+            });
         });
         group.bench_with_input(BenchmarkId::new("cycle_check_exact", n), &n, |b, _| {
             b.iter(|| g.would_close_cycle_exact(&[TxnId(n - 1)], &[TxnId(0)]));
@@ -91,7 +98,9 @@ fn bench_graph_ops(c: &mut Criterion) {
 
 fn bench_pruning(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_pruning");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("prune_half_of_400", |b| {
         b.iter(|| {
             let mut g = layered_graph(400, 2, CcConfig::default());

@@ -30,12 +30,19 @@ fn bench_mvstore(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("mvstore");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("latest_read", |b| {
         b.iter(|| store.latest(&Key::new("checking:123")).map(|v| v.version))
     });
     group.bench_function("snapshot_read_block_3", |b| {
-        b.iter(|| store.read_at(&Key::new("checking:123"), 3).unwrap().map(|v| v.version))
+        b.iter(|| {
+            store
+                .read_at(&Key::new("checking:123"), 3)
+                .unwrap()
+                .map(|v| v.version)
+        })
     });
     group.finish();
 }
@@ -52,16 +59,24 @@ fn bench_indices(c: &mut Criterion) {
         }
     }
     let mut group = c.benchmark_group("committed_write_index");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("last", |b| b.iter(|| cw.last(&Key::new("k42"))));
-    group.bench_function("before", |b| b.iter(|| cw.before(&Key::new("k42"), SeqNo::new(25, 0))));
-    group.bench_function("range_from", |b| b.iter(|| cw.from(&Key::new("k42"), SeqNo::new(40, 0)).len()));
+    group.bench_function("before", |b| {
+        b.iter(|| cw.before(&Key::new("k42"), SeqNo::new(25, 0)))
+    });
+    group.bench_function("range_from", |b| {
+        b.iter(|| cw.from(&Key::new("k42"), SeqNo::new(40, 0)).len())
+    });
     group.finish();
 }
 
 fn bench_ledger_and_zipf(c: &mut Criterion) {
     let mut group = c.benchmark_group("ledger_and_workload");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("sha256_1kib", |b| {
         let data = vec![0xabu8; 1024];
@@ -95,7 +110,14 @@ fn bench_ledger_and_zipf(c: &mut Criterion) {
     group.bench_function("smallbank_endorse_send_payment", |b| {
         b.iter(|| {
             endorser.simulate_at(&store, TxnId(1), 0, |ctx| {
-                SmallbankContract.run(ctx, &SmallbankOp::SendPayment { from: 1, to: 2, amount: 5 })
+                SmallbankContract.run(
+                    ctx,
+                    &SmallbankOp::SendPayment {
+                        from: 1,
+                        to: 2,
+                        amount: 5,
+                    },
+                )
             })
         })
     });

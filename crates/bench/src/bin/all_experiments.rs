@@ -14,11 +14,26 @@ fn main() {
     if std::env::args().any(|a| a == "--grid") {
         let grid = ExperimentGrid::default();
         println!("Table 2 — experiment parameters (defaults underlined in the paper):");
-        println!("  # of transactions per block : {:?} (default 100)", grid.block_sizes);
-        println!("  Write hot ratio (%)         : {:?} (default 10)", grid.write_hot_ratios);
-        println!("  Read hot ratio (%)          : {:?} (default 10)", grid.read_hot_ratios);
-        println!("  Client delay (ms)           : {:?} (default 0)", grid.client_delays_ms);
-        println!("  Read interval (ms)          : {:?} (default 0)", grid.read_intervals_ms);
+        println!(
+            "  # of transactions per block : {:?} (default 100)",
+            grid.block_sizes
+        );
+        println!(
+            "  Write hot ratio (%)         : {:?} (default 10)",
+            grid.write_hot_ratios
+        );
+        println!(
+            "  Read hot ratio (%)          : {:?} (default 10)",
+            grid.read_hot_ratios
+        );
+        println!(
+            "  Client delay (ms)           : {:?} (default 0)",
+            grid.client_delays_ms
+        );
+        println!(
+            "  Read interval (ms)          : {:?} (default 0)",
+            grid.read_intervals_ms
+        );
         println!("  Figure 1 Zipfian θ          : {:?}", grid.figure1_thetas);
         println!("  Figure 15 Zipfian θ         : {:?}", grid.figure15_thetas);
         return;
@@ -39,10 +54,7 @@ fn main() {
         // Re-invoking through cargo would rebuild; run the sibling binary directly from the
         // same target directory this binary was launched from.
         let current = std::env::current_exe().expect("current executable path");
-        let sibling = current
-            .parent()
-            .expect("target directory")
-            .join(binary);
+        let sibling = current.parent().expect("target directory").join(binary);
         let status = Command::new(&sibling)
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {}: {e}", sibling.display()));

@@ -22,7 +22,10 @@ fn main() {
     );
 
     // No-op transactions: nothing conflicts, effective == raw.
-    let noop = run_one(SimulationConfig::new(SystemKind::Fabric, WorkloadKind::NoOp));
+    let noop = run_one(SimulationConfig::new(
+        SystemKind::Fabric,
+        WorkloadKind::NoOp,
+    ));
     println!(
         "{:<18} {:>10.0} {:>12.0} {:>10} {:>11.1}%",
         "No-op",
@@ -34,8 +37,7 @@ fn main() {
 
     // Single-modification transactions with increasing Zipfian skew (paper: θ = 0.2 .. 1.2).
     for theta in [0.2, 0.4, 0.6, 0.8, 1.0, 1.2] {
-        let config =
-            SimulationConfig::new(SystemKind::Fabric, WorkloadKind::KvUpdate { theta });
+        let config = SimulationConfig::new(SystemKind::Fabric, WorkloadKind::KvUpdate { theta });
         let report = run_one(config);
         println!(
             "{:<18} {:>10.0} {:>12.0} {:>10} {:>11.1}%",

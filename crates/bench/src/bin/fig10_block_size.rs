@@ -24,8 +24,18 @@ fn main() {
         rows.push((block_size, run_all_systems(base)));
     }
 
-    print_throughput_table("# txns per block", &rows, |r| r.effective_tps(), "effective tps");
-    print_throughput_table("# txns per block", &rows, |r| r.avg_latency_ms, "latency, ms");
+    print_throughput_table(
+        "# txns per block",
+        &rows,
+        |r| r.effective_tps(),
+        "effective tps",
+    );
+    print_throughput_table(
+        "# txns per block",
+        &rows,
+        |r| r.avg_latency_ms,
+        "latency, ms",
+    );
 
     println!(
         "Paper's shape: Fabric# peaks at 100-txn blocks (542 tps) and stays highest everywhere;\n\

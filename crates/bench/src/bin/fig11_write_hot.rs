@@ -24,7 +24,12 @@ fn main() {
         rows.push((format!("{:.0}%", ratio * 100.0), run_all_systems(base)));
     }
 
-    print_throughput_table("write hot ratio", &rows, |r| r.effective_tps(), "effective tps");
+    print_throughput_table(
+        "write hot ratio",
+        &rows,
+        |r| r.effective_tps(),
+        "effective tps",
+    );
     print_throughput_table(
         "write hot ratio",
         &rows,

@@ -24,7 +24,12 @@ fn main() {
         rows.push((format!("{delay} ms"), run_all_systems(base)));
     }
 
-    print_throughput_table("client delay", &rows, |r| r.effective_tps(), "effective tps");
+    print_throughput_table(
+        "client delay",
+        &rows,
+        |r| r.effective_tps(),
+        "effective tps",
+    );
 
     // FabricSharp is the third entry of SystemKind::all().
     let sharp_index = SystemKind::all()

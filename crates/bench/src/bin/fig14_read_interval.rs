@@ -24,15 +24,32 @@ fn main() {
         rows.push((format!("{interval} ms"), run_all_systems(base)));
     }
 
-    print_throughput_table("read interval", &rows, |r| r.effective_tps(), "effective tps");
+    print_throughput_table(
+        "read interval",
+        &rows,
+        |r| r.effective_tps(),
+        "effective tps",
+    );
 
     // Abort breakdown for the three systems the paper highlights in the right panel.
-    for system in [SystemKind::FoccS, SystemKind::FabricPlusPlus, SystemKind::FabricSharp] {
-        let index = SystemKind::all().iter().position(|s| *s == system).expect("known system");
+    for system in [
+        SystemKind::FoccS,
+        SystemKind::FabricPlusPlus,
+        SystemKind::FabricSharp,
+    ] {
+        let index = SystemKind::all()
+            .iter()
+            .position(|s| *s == system)
+            .expect("known system");
         println!("Abort breakdown — {}", system.label());
         println!(
             "{:<14} {:>16} {:>18} {:>18} {:>10} {:>12}",
-            "read interval", "Concurrent-ww", "2 consecutive rw", "Simulation abort", "Others", "abort rate"
+            "read interval",
+            "Concurrent-ww",
+            "2 consecutive rw",
+            "Simulation abort",
+            "Others",
+            "abort rate"
         );
         for (x, reports) in &rows {
             let report = &reports[index];

@@ -32,7 +32,10 @@ fn main() {
 
     // Contention-free Create-Account workload: the reordering overhead is the only difference.
     let base_ff = run_one(fast_config(SystemKind::Fabric, WorkloadKind::CreateAccount));
-    let base_sharp = run_one(fast_config(SystemKind::FabricSharp, WorkloadKind::CreateAccount));
+    let base_sharp = run_one(fast_config(
+        SystemKind::FabricSharp,
+        WorkloadKind::CreateAccount,
+    ));
     println!(
         "{:<26} {:>14.0} {:>16.0} {:>20}",
         "Create Account",

@@ -14,7 +14,10 @@ use fabricsharp_core::theory::figure2a_fixture;
 
 fn main() {
     println!("Table 1: commit status of Txn2..Txn5 from Figure 2a (X = commit, x = abort)\n");
-    println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "System", "Txn2", "Txn3", "Txn4", "Txn5");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "System", "Txn2", "Txn3", "Txn4", "Txn5"
+    );
 
     for system in SystemKind::all() {
         let (store, txns) = figure2a_fixture();
@@ -54,7 +57,13 @@ fn main() {
             }
         }
 
-        let cell = |id: u64| if committed_ids.contains(&id) { "X" } else { "x" };
+        let cell = |id: u64| {
+            if committed_ids.contains(&id) {
+                "X"
+            } else {
+                "x"
+            }
+        };
         println!(
             "{:<10} {:>8} {:>8} {:>8} {:>8}",
             system.label(),
@@ -66,9 +75,19 @@ fn main() {
     }
 
     println!("\nPaper's Table 1:");
-    println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "Fabric", "x", "X", "x", "x");
-    println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "Fabric++", "x", "x", "X", "X");
-    println!("\n(The paper does not tabulate Fabric#/Focc-s/Focc-l on this example; they are shown");
-    println!(" here for completeness. Fabric# commits two transactions, like Fabric++, but drops the");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "Fabric", "x", "X", "x", "x"
+    );
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "Fabric++", "x", "x", "X", "X"
+    );
+    println!(
+        "\n(The paper does not tabulate Fabric#/Focc-s/Focc-l on this example; they are shown"
+    );
+    println!(
+        " here for completeness. Fabric# commits two transactions, like Fabric++, but drops the"
+    );
     println!(" unserializable ones before they occupy block slots.)");
 }

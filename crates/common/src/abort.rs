@@ -71,7 +71,9 @@ impl fmt::Display for AbortReason {
             AbortReason::ConcurrentWriteWrite => "concurrent write-write conflict",
             AbortReason::DangerousStructure => "two consecutive rw conflicts (dangerous structure)",
             AbortReason::UnreorderableCycle => "unreorderable dependency cycle",
-            AbortReason::BloomFalsePositive => "bloom-filter reachability hit (possible false positive)",
+            AbortReason::BloomFalsePositive => {
+                "bloom-filter reachability hit (possible false positive)"
+            }
             AbortReason::InBlockCycle => "in-block dependency cycle (Fabric++ reordering)",
             AbortReason::GreedyVictim => "dropped by sort-based greedy reordering",
             AbortReason::EndorsementPolicy => "endorsement policy not satisfied",
@@ -88,9 +90,18 @@ mod tests {
 
     #[test]
     fn figure14_buckets() {
-        assert_eq!(AbortReason::ConcurrentWriteWrite.figure14_bucket(), "Concurrent-ww");
-        assert_eq!(AbortReason::DangerousStructure.figure14_bucket(), "2 consecutive rw");
-        assert_eq!(AbortReason::CrossBlockRead.figure14_bucket(), "Simulation abort");
+        assert_eq!(
+            AbortReason::ConcurrentWriteWrite.figure14_bucket(),
+            "Concurrent-ww"
+        );
+        assert_eq!(
+            AbortReason::DangerousStructure.figure14_bucket(),
+            "2 consecutive rw"
+        );
+        assert_eq!(
+            AbortReason::CrossBlockRead.figure14_bucket(),
+            "Simulation abort"
+        );
         assert_eq!(AbortReason::StaleRead.figure14_bucket(), "Others");
         assert_eq!(AbortReason::UnreorderableCycle.figure14_bucket(), "Others");
     }

@@ -269,8 +269,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_degenerate_values() {
-        let mut block = BlockConfig::default();
-        block.max_txns_per_block = 0;
+        let block = BlockConfig {
+            max_txns_per_block: 0,
+            ..BlockConfig::default()
+        };
         assert!(block.validate().is_err());
 
         let mut cc = CcConfig::default();

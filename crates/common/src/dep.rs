@@ -113,8 +113,14 @@ mod tests {
     fn lemma3_rw_edges_preserve_dependency_order() {
         // Switching the commit order turns c-rw into anti-rw and vice versa; in both cases the
         // reader still depends on the writer.
-        assert_eq!(ConcurrentReadWrite.after_commit_order_switch(), Some(AntiReadWrite));
-        assert_eq!(AntiReadWrite.after_commit_order_switch(), Some(ConcurrentReadWrite));
+        assert_eq!(
+            ConcurrentReadWrite.after_commit_order_switch(),
+            Some(AntiReadWrite)
+        );
+        assert_eq!(
+            AntiReadWrite.after_commit_order_switch(),
+            Some(ConcurrentReadWrite)
+        );
     }
 
     #[test]

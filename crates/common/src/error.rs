@@ -35,7 +35,10 @@ impl fmt::Display for CommonError {
             CommonError::BlockNotFound(b) => write!(f, "block not found: {b}"),
             CommonError::SnapshotPruned(b) => write!(f, "snapshot for block {b} has been pruned"),
             CommonError::ChainIntegrity { block, detail } => {
-                write!(f, "hash chain integrity violation at block {block}: {detail}")
+                write!(
+                    f,
+                    "hash chain integrity violation at block {block}: {detail}"
+                )
             }
             CommonError::DuplicateTransaction(id) => write!(f, "duplicate transaction Txn{id}"),
             CommonError::Consensus(msg) => write!(f, "consensus error: {msg}"),
@@ -53,10 +56,15 @@ mod tests {
 
     #[test]
     fn display_messages_mention_the_offending_entity() {
-        assert!(CommonError::KeyNotFound("acct:1".into()).to_string().contains("acct:1"));
+        assert!(CommonError::KeyNotFound("acct:1".into())
+            .to_string()
+            .contains("acct:1"));
         assert!(CommonError::BlockNotFound(7).to_string().contains('7'));
         assert!(CommonError::SnapshotPruned(3).to_string().contains('3'));
-        let e = CommonError::ChainIntegrity { block: 9, detail: "hash mismatch".into() };
+        let e = CommonError::ChainIntegrity {
+            block: 9,
+            detail: "hash mismatch".into(),
+        };
         assert!(e.to_string().contains("block 9"));
     }
 

@@ -171,7 +171,10 @@ impl ReadSet {
 
     /// Looks up the version recorded for `key`, if any.
     pub fn version_of(&self, key: &Key) -> Option<SeqNo> {
-        self.items.iter().find(|it| &it.key == key).map(|it| it.version)
+        self.items
+            .iter()
+            .find(|it| &it.key == key)
+            .map(|it| it.version)
     }
 
     /// Returns `true` if the readset contains `key`.
@@ -235,7 +238,10 @@ impl WriteSet {
 
     /// Looks up the value written to `key`, if any.
     pub fn value_of(&self, key: &Key) -> Option<&Value> {
-        self.items.iter().find(|it| &it.key == key).map(|it| &it.value)
+        self.items
+            .iter()
+            .find(|it| &it.key == key)
+            .map(|it| &it.value)
     }
 
     /// Returns `true` if the writeset contains `key`.
@@ -308,9 +314,12 @@ mod tests {
 
     #[test]
     fn from_iterator_builders() {
-        let rs: ReadSet = [(Key::new("A"), SeqNo::new(1, 1)), (Key::new("B"), SeqNo::new(1, 2))]
-            .into_iter()
-            .collect();
+        let rs: ReadSet = [
+            (Key::new("A"), SeqNo::new(1, 1)),
+            (Key::new("B"), SeqNo::new(1, 2)),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(rs.len(), 2);
         assert!(rs.contains(&Key::new("B")));
 

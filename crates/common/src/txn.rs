@@ -109,7 +109,8 @@ impl Transaction {
     /// simulated against and the block it commits in (footnote 2 of the paper). Returns `None`
     /// until the transaction is sequenced.
     pub fn block_span(&self) -> Option<u64> {
-        self.end_ts.map(|e| e.block.saturating_sub(self.snapshot_block))
+        self.end_ts
+            .map(|e| e.block.saturating_sub(self.snapshot_block))
     }
 
     /// Returns `true` if the transaction never reads (e.g. Create-Account / no-op workloads);

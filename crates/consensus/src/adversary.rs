@@ -148,7 +148,8 @@ where
             let is_victim = sub
                 .visible_to_leader()
                 .map(|txn| {
-                    txn.read_set.contains(&self.target_key) && txn.write_set.contains(&self.target_key)
+                    txn.read_set.contains(&self.target_key)
+                        && txn.write_set.contains(&self.target_key)
                 })
                 .unwrap_or(false);
             if is_victim {
@@ -186,10 +187,7 @@ mod tests {
             ClientSubmission::Plain(victim_txn(2)),
         ];
         let out = leader.propose_order(subs);
-        let ids: Vec<u64> = out
-            .into_iter()
-            .map(|s| s.reveal().unwrap().id.0)
-            .collect();
+        let ids: Vec<u64> = out.into_iter().map(|s| s.reveal().unwrap().id.0).collect();
         assert_eq!(ids, vec![1, 2]);
     }
 
@@ -204,17 +202,15 @@ mod tests {
             ClientSubmission::Plain(victim_txn(7)),
             ClientSubmission::Plain(Transaction::from_parts(8, 3, [], [])),
         ]);
-        let ids: Vec<u64> = out
-            .into_iter()
-            .map(|s| s.reveal().unwrap().id.0)
-            .collect();
+        let ids: Vec<u64> = out.into_iter().map(|s| s.reveal().unwrap().id.0).collect();
         assert_eq!(ids, vec![1_000_007, 7, 8]);
         assert_eq!(leader.attacks_launched, 1);
     }
 
     #[test]
     fn commitments_blind_the_front_runner() {
-        let mut leader = FrontRunningLeader::new(Key::new("asset"), |victim: &Transaction| victim.clone());
+        let mut leader =
+            FrontRunningLeader::new(Key::new("asset"), |victim: &Transaction| victim.clone());
         let out = leader.propose_order(vec![ClientSubmission::committed(victim_txn(7))]);
         assert_eq!(out.len(), 1, "no attack transaction was injected");
         assert_eq!(leader.attacks_launched, 0);
@@ -228,7 +224,9 @@ mod tests {
             commitment: commitment_of(&txn),
             sealed: {
                 let mut mutated = txn;
-                mutated.write_set.record(Key::new("asset"), Value::from_i64(-1));
+                mutated
+                    .write_set
+                    .record(Key::new("asset"), Value::from_i64(-1));
                 mutated
             },
         };
@@ -245,7 +243,9 @@ mod tests {
         assert_ne!(c0, commitment_of(&different_id));
 
         let mut different_write = base.clone();
-        different_write.write_set.record(Key::new("asset"), Value::from_i64(43));
+        different_write
+            .write_set
+            .record(Key::new("asset"), Value::from_i64(43));
         assert_ne!(c0, commitment_of(&different_write));
 
         let mut different_snapshot = base;

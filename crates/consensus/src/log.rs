@@ -167,12 +167,19 @@ mod tests {
     fn append_and_cursor_replay_the_same_order() {
         let log = ConsensusLog::new();
         for id in 1..=5u64 {
-            log.append(Submission { txn: txn(id), submitter: 0 });
+            log.append(Submission {
+                txn: txn(id),
+                submitter: 0,
+            });
         }
         let mut a = log.cursor();
         let mut b = log.cursor();
-        let seq_a: Vec<u64> = std::iter::from_fn(|| a.poll()).map(|s| s.txn.id.0).collect();
-        let seq_b: Vec<u64> = std::iter::from_fn(|| b.poll()).map(|s| s.txn.id.0).collect();
+        let seq_a: Vec<u64> = std::iter::from_fn(|| a.poll())
+            .map(|s| s.txn.id.0)
+            .collect();
+        let seq_b: Vec<u64> = std::iter::from_fn(|| b.poll())
+            .map(|s| s.txn.id.0)
+            .collect();
         assert_eq!(seq_a, vec![1, 2, 3, 4, 5]);
         assert_eq!(seq_a, seq_b);
         assert_eq!(a.position(), 5);
@@ -195,7 +202,9 @@ mod tests {
         // Ordering is the channel arrival order and both cursors agree on it.
         let ids: Vec<u64> = {
             let mut c = log.cursor();
-            std::iter::from_fn(|| c.poll()).map(|s| s.txn.id.0).collect()
+            std::iter::from_fn(|| c.poll())
+                .map(|s| s.txn.id.0)
+                .collect()
         };
         assert_eq!(ids.len(), 3);
         assert!(ids.contains(&10) && ids.contains(&20) && ids.contains(&30));
@@ -204,7 +213,10 @@ mod tests {
     #[test]
     fn get_past_end_is_an_error() {
         let log = ConsensusLog::new();
-        log.append(Submission { txn: txn(1), submitter: 0 });
+        log.append(Submission {
+            txn: txn(1),
+            submitter: 0,
+        });
         assert!(log.get(0).is_ok());
         assert!(matches!(log.get(5), Err(CommonError::Consensus(_))));
     }
@@ -214,7 +226,10 @@ mod tests {
         let log = ConsensusLog::new();
         let mut cursor = log.cursor();
         assert!(cursor.poll().is_none());
-        log.append(Submission { txn: txn(7), submitter: 0 });
+        log.append(Submission {
+            txn: txn(7),
+            submitter: 0,
+        });
         assert_eq!(cursor.poll().unwrap().txn.id, TxnId(7));
         assert!(cursor.poll().is_none());
     }

@@ -91,8 +91,14 @@ impl<L: LeaderPolicy> ReplicaSet<L> {
     /// Creates `n` replicas sharing one log, with `leader` deciding the proposal order.
     pub fn new(n: u32, config: BlockConfig, leader: L) -> Self {
         let log = ConsensusLog::new();
-        let replicas = (0..n).map(|id| OrdererReplica::new(id, &log, config)).collect();
-        ReplicaSet { log, leader, replicas }
+        let replicas = (0..n)
+            .map(|id| OrdererReplica::new(id, &log, config))
+            .collect();
+        ReplicaSet {
+            log,
+            leader,
+            replicas,
+        }
     }
 
     /// Submits a batch of client submissions through the leader and into the total order.
@@ -179,14 +185,21 @@ mod tests {
 
     #[test]
     fn replicas_agree_on_block_boundaries_and_contents() {
-        let config = BlockConfig { max_txns_per_block: 4, block_timeout_ms: 1_000 };
+        let config = BlockConfig {
+            max_txns_per_block: 4,
+            block_timeout_ms: 1_000,
+        };
         let mut set = ReplicaSet::new(3, config, HonestLeader);
         set.submit_plain((1..=10).map(txn).collect());
         set.step(5);
         set.flush(10);
         assert!(set.in_agreement());
         let blocks = set.replicas()[0].block_ids();
-        assert_eq!(blocks.len(), 3, "10 txns at 4 per block = 2 full blocks + 1 flushed");
+        assert_eq!(
+            blocks.len(),
+            3,
+            "10 txns at 4 per block = 2 full blocks + 1 flushed"
+        );
         assert_eq!(blocks[0], vec![1, 2, 3, 4]);
         assert_eq!(blocks[2], vec![9, 10]);
         assert_eq!(set.log().len(), 10);
@@ -194,7 +207,10 @@ mod tests {
 
     #[test]
     fn replicas_that_join_late_still_agree() {
-        let config = BlockConfig { max_txns_per_block: 3, block_timeout_ms: 1_000 };
+        let config = BlockConfig {
+            max_txns_per_block: 3,
+            block_timeout_ms: 1_000,
+        };
         let mut set = ReplicaSet::new(1, config, HonestLeader);
         set.submit_plain((1..=6).map(txn).collect());
         set.step(1);
@@ -210,7 +226,10 @@ mod tests {
 
     #[test]
     fn timeout_cuts_are_replicated_too() {
-        let config = BlockConfig { max_txns_per_block: 100, block_timeout_ms: 50 };
+        let config = BlockConfig {
+            max_txns_per_block: 100,
+            block_timeout_ms: 50,
+        };
         let mut set = ReplicaSet::new(2, config, HonestLeader);
         set.submit_plain(vec![txn(1), txn(2)]);
         set.step(0); // both replicas enqueue at t=0
@@ -230,7 +249,10 @@ mod tests {
             let original = txn(2);
             let mut mutated = original.clone();
             mutated.write_set.record(Key::new("B"), Value::from_i64(-1));
-            ClientSubmission::Committed { commitment: commitment_of(&original), sealed: mutated }
+            ClientSubmission::Committed {
+                commitment: commitment_of(&original),
+                sealed: mutated,
+            }
         };
         let (accepted, rejected) = set.submit_batch(vec![good, bad]);
         assert_eq!(accepted, 1);

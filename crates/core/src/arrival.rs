@@ -112,7 +112,9 @@ mod tests {
             id,
             snapshot,
             reads.iter().map(|(key, v)| (k(key), SeqNo::new(v.0, v.1))),
-            writes.iter().map(|key| (k(key), Value::from_i64(id as i64))),
+            writes
+                .iter()
+                .map(|key| (k(key), Value::from_i64(id as i64))),
         )
     }
 
@@ -147,7 +149,10 @@ mod tests {
         let t2 = txn(2, 0, &[("B", (0, 2))], &["A"]);
         assert!(cc.on_arrival(t1).is_accept());
         let decision = cc.on_arrival(t2);
-        assert_eq!(decision, CommitDecision::Reject(AbortReason::UnreorderableCycle));
+        assert_eq!(
+            decision,
+            CommitDecision::Reject(AbortReason::UnreorderableCycle)
+        );
         assert_eq!(cc.pending_len(), 1);
         assert_eq!(cc.stats().aborts_for(AbortReason::UnreorderableCycle), 1);
     }
@@ -206,9 +211,15 @@ mod tests {
         let mut cc = exact_cc();
         // Chain of dependencies through a shared key: each new reader/writer pair grows the
         // graph and the reachability updates traverse it.
-        assert!(cc.on_arrival(txn(1, 0, &[("A", (0, 1))], &["B"])).is_accept());
-        assert!(cc.on_arrival(txn(2, 0, &[("B", (0, 2))], &["C"])).is_accept());
-        assert!(cc.on_arrival(txn(3, 0, &[("C", (0, 3))], &["D"])).is_accept());
+        assert!(cc
+            .on_arrival(txn(1, 0, &[("A", (0, 1))], &["B"]))
+            .is_accept());
+        assert!(cc
+            .on_arrival(txn(2, 0, &[("B", (0, 2))], &["C"]))
+            .is_accept());
+        assert!(cc
+            .on_arrival(txn(3, 0, &[("C", (0, 3))], &["D"]))
+            .is_accept());
         // Now a transaction that writes A: its successors include txn1 (anti-rw through A is
         // not possible — A was only read); its predecessors include readers of A.
         assert!(cc.on_arrival(txn(4, 0, &[], &["A"])).is_accept());

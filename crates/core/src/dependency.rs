@@ -102,7 +102,10 @@ struct Dedup {
 
 impl Dedup {
     fn new(own: TxnId) -> Self {
-        Dedup { own, seen: Vec::new() }
+        Dedup {
+            own,
+            seen: Vec::new(),
+        }
     }
 
     fn push(&mut self, id: TxnId) {
@@ -179,13 +182,7 @@ mod tests {
         let mut cw = CommittedWriteIndex::new();
         cw.record(k("B"), SeqNo::new(2, 2), TxnId(6)); // last committed writer of B
 
-        let deps = resolve_dependencies(
-            &sample_txn(),
-            &cw,
-            &cr,
-            &PendingIndex::new(),
-            &pr,
-        );
+        let deps = resolve_dependencies(&sample_txn(), &cw, &cr, &PendingIndex::new(), &pr);
         assert_eq!(deps.predecessors, vec![TxnId(4), TxnId(5), TxnId(6)]);
         assert!(deps.successors.is_empty());
     }

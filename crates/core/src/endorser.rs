@@ -153,9 +153,18 @@ mod tests {
         });
         assert_eq!(txn.snapshot_block, 0);
         assert_eq!(txn.read_set.len(), 2);
-        assert_eq!(txn.read_set.version_of(&Key::new("alice")), Some(SeqNo::new(0, 1)));
-        assert_eq!(txn.write_set.value_of(&Key::new("alice")).unwrap().as_i64(), Some(90));
-        assert_eq!(txn.write_set.value_of(&Key::new("bob")).unwrap().as_i64(), Some(60));
+        assert_eq!(
+            txn.read_set.version_of(&Key::new("alice")),
+            Some(SeqNo::new(0, 1))
+        );
+        assert_eq!(
+            txn.write_set.value_of(&Key::new("alice")).unwrap().as_i64(),
+            Some(90)
+        );
+        assert_eq!(
+            txn.write_set.value_of(&Key::new("bob")).unwrap().as_i64(),
+            Some(60)
+        );
     }
 
     #[test]
@@ -168,7 +177,13 @@ mod tests {
         });
         // The buffered read does not touch the snapshot, so the readset stays empty.
         assert!(txn.read_set.is_empty());
-        assert_eq!(txn.write_set.value_of(&Key::new("counter")).unwrap().as_i64(), Some(2));
+        assert_eq!(
+            txn.write_set
+                .value_of(&Key::new("counter"))
+                .unwrap()
+                .as_i64(),
+            Some(2)
+        );
     }
 
     #[test]
@@ -184,8 +199,14 @@ mod tests {
             ctx.write(Key::new("alice"), Value::from_i64(a));
         });
         assert_eq!(txn.snapshot_block, 1);
-        assert_eq!(txn.read_set.version_of(&Key::new("alice")), Some(SeqNo::new(1, 1)));
-        assert_eq!(txn.write_set.value_of(&Key::new("alice")).unwrap().as_i64(), Some(999));
+        assert_eq!(
+            txn.read_set.version_of(&Key::new("alice")),
+            Some(SeqNo::new(1, 1))
+        );
+        assert_eq!(
+            txn.write_set.value_of(&Key::new("alice")).unwrap().as_i64(),
+            Some(999)
+        );
     }
 
     #[test]
@@ -202,7 +223,10 @@ mod tests {
             ctx.write(Key::new("alice"), Value::from_i64(a + 1));
         });
         assert_eq!(txn.snapshot_block, 0);
-        assert_eq!(txn.write_set.value_of(&Key::new("alice")).unwrap().as_i64(), Some(101));
+        assert_eq!(
+            txn.write_set.value_of(&Key::new("alice")).unwrap().as_i64(),
+            Some(101)
+        );
     }
 
     #[test]
@@ -212,7 +236,16 @@ mod tests {
             let v = ctx.read_balance(&Key::new("nobody"));
             ctx.write(Key::new("nobody"), Value::from_i64(v + 5));
         });
-        assert_eq!(txn.read_set.version_of(&Key::new("nobody")), Some(SeqNo::zero()));
-        assert_eq!(txn.write_set.value_of(&Key::new("nobody")).unwrap().as_i64(), Some(5));
+        assert_eq!(
+            txn.read_set.version_of(&Key::new("nobody")),
+            Some(SeqNo::zero())
+        );
+        assert_eq!(
+            txn.write_set
+                .value_of(&Key::new("nobody"))
+                .unwrap()
+                .as_i64(),
+            Some(5)
+        );
     }
 }

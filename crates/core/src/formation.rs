@@ -166,7 +166,9 @@ mod tests {
             id,
             snapshot,
             reads.iter().map(|(key, v)| (k(key), V::new(v.0, v.1))),
-            writes.iter().map(|key| (k(key), Value::from_i64(id as i64))),
+            writes
+                .iter()
+                .map(|key| (k(key), Value::from_i64(id as i64))),
         )
     }
 
@@ -193,10 +195,15 @@ mod tests {
         // t2 writes A. Arrival order t2, t1: when t1 arrives, PW[A] contains t2, so t1 gains an
         // anti-rw successor t2 → order must place t1 before t2.
         assert!(cc.on_arrival(txn(2, 0, &[], &["A"])).is_accept());
-        assert!(cc.on_arrival(txn(1, 0, &[("A", (0, 1))], &["B"])).is_accept());
+        assert!(cc
+            .on_arrival(txn(1, 0, &[("A", (0, 1))], &["B"]))
+            .is_accept());
         let block = cc.cut_block();
         assert_eq!(block.len(), 2);
-        assert_eq!(block[0].id.0, 1, "the reader must be serialized before the writer");
+        assert_eq!(
+            block[0].id.0, 1,
+            "the reader must be serialized before the writer"
+        );
         assert_eq!(block[1].id.0, 2);
         assert_eq!(block[0].end_ts, Some(V::new(1, 1)));
         assert_eq!(block[1].end_ts, Some(V::new(1, 2)));
@@ -208,7 +215,9 @@ mod tests {
     #[test]
     fn committed_indices_are_updated_for_later_arrivals() {
         let mut cc = exact_cc();
-        assert!(cc.on_arrival(txn(1, 0, &[("A", (0, 1))], &["B"])).is_accept());
+        assert!(cc
+            .on_arrival(txn(1, 0, &[("A", (0, 1))], &["B"]))
+            .is_accept());
         let block1 = cc.cut_block();
         assert_eq!(block1.len(), 1);
 
@@ -216,7 +225,9 @@ mod tests {
         // B in block 1: its readset is stale relative to the committed write, which shows up
         // as an anti-rw successor pointing at a committed transaction. On its own that is
         // harmless (accepted)...
-        assert!(cc.on_arrival(txn(2, 0, &[("B", (0, 1))], &["C"])).is_accept());
+        assert!(cc
+            .on_arrival(txn(2, 0, &[("B", (0, 1))], &["C"]))
+            .is_accept());
         // ...but a third transaction that also closes the loop back to txn2 is rejected:
         // txn3 reads C (stale vs txn2's pending write → succ txn2) and writes B
         // (rw: committed reader txn... and ww to committed writer txn1). The cycle
@@ -238,7 +249,9 @@ mod tests {
         let ids: Vec<u64> = block.iter().map(|t| t.id.0).collect();
         assert_eq!(ids, vec![1, 2, 3]);
         // The restored edge connects txn1 → txn2 in the graph.
-        assert!(cc.graph().reaches_exact(eov_common::txn::TxnId(1), eov_common::txn::TxnId(2)));
+        assert!(cc
+            .graph()
+            .reaches_exact(eov_common::txn::TxnId(1), eov_common::txn::TxnId(2)));
     }
 
     #[test]

@@ -99,7 +99,8 @@ impl FabricSharpCC {
         if self.graph.contains(txn.id) {
             return;
         }
-        let deps = crate::dependency::resolve_dependencies(txn, &self.cw, &self.cr, &self.pw, &self.pr);
+        let deps =
+            crate::dependency::resolve_dependencies(txn, &self.cw, &self.cr, &self.pw, &self.pr);
         let spec = eov_depgraph::PendingTxnSpec {
             id: txn.id,
             start_ts: txn.start_ts(),

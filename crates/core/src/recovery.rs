@@ -29,7 +29,10 @@ pub struct RecoveryReport {
 ///
 /// Only committed transactions of the last `config.max_span` blocks are replayed; the
 /// controller's block counter resumes at `ledger.height() + 1`.
-pub fn recover_from_ledger(ledger: &Ledger, config: CcConfig) -> Result<(FabricSharpCC, RecoveryReport)> {
+pub fn recover_from_ledger(
+    ledger: &Ledger,
+    config: CcConfig,
+) -> Result<(FabricSharpCC, RecoveryReport)> {
     ledger.verify_integrity()?;
     let mut cc = FabricSharpCC::new(config);
     let height = ledger.height();
@@ -88,7 +91,12 @@ mod tests {
             } else {
                 vec![(Key::new(format!("K{}", b - 1)), SeqNo::new(b - 1, 1))]
             };
-            let txn = Transaction::from_parts(b, b - 1, reads, [(Key::new(format!("K{b}")), Value::from_i64(b as i64))]);
+            let txn = Transaction::from_parts(
+                b,
+                b - 1,
+                reads,
+                [(Key::new(format!("K{b}")), Value::from_i64(b as i64))],
+            );
             let mut block = Block::build(b, ledger.tip_hash(), vec![txn]);
             block.entries[0].status = TxnStatus::Committed;
             ledger.append(block).unwrap();
@@ -99,7 +107,10 @@ mod tests {
     #[test]
     fn recovery_replays_only_the_recent_suffix() {
         let ledger = chained_ledger(20);
-        let config = CcConfig { max_span: 5, ..CcConfig::default() };
+        let config = CcConfig {
+            max_span: 5,
+            ..CcConfig::default()
+        };
         let (cc, report) = recover_from_ledger(&ledger, config).unwrap();
         assert_eq!(report.ledger_height, 20);
         assert_eq!(report.replay_from_block, 15);

@@ -41,7 +41,10 @@ pub fn serialization_order(history: &[Transaction]) -> Option<Vec<TxnId>> {
     for txn in &committed {
         let end = txn.end_ts.expect("filtered to committed");
         for w in txn.write_set.iter() {
-            writers_by_key.entry(w.key.as_str()).or_default().push((end, txn.id));
+            writers_by_key
+                .entry(w.key.as_str())
+                .or_default()
+                .push((end, txn.id));
             version_installer.insert((w.key.as_str(), end), txn.id);
         }
     }
@@ -49,7 +52,8 @@ pub fn serialization_order(history: &[Transaction]) -> Option<Vec<TxnId>> {
         writers.sort();
     }
 
-    let mut edges: HashMap<TxnId, HashSet<TxnId>> = ids.iter().map(|id| (*id, HashSet::new())).collect();
+    let mut edges: HashMap<TxnId, HashSet<TxnId>> =
+        ids.iter().map(|id| (*id, HashSet::new())).collect();
     let add_edge = |from: TxnId, to: TxnId, edges: &mut HashMap<TxnId, HashSet<TxnId>>| {
         if from != to {
             edges.get_mut(&from).expect("known id").insert(to);
@@ -88,10 +92,7 @@ pub fn serialization_order(history: &[Transaction]) -> Option<Vec<TxnId>> {
 
 /// Kahn's algorithm; returns `None` when the graph has a cycle. Ties are broken by the order
 /// ids appear in `ids` (commit order), so the witness is stable.
-fn topological_order(
-    ids: &[TxnId],
-    edges: &HashMap<TxnId, HashSet<TxnId>>,
-) -> Option<Vec<TxnId>> {
+fn topological_order(ids: &[TxnId], edges: &HashMap<TxnId, HashSet<TxnId>>) -> Option<Vec<TxnId>> {
     let mut indegree: HashMap<TxnId, usize> = ids.iter().map(|id| (*id, 0)).collect();
     for targets in edges.values() {
         for t in targets {
@@ -168,8 +169,12 @@ mod tests {
         let mut txn = Transaction::from_parts(
             id,
             end.0.saturating_sub(1),
-            reads.into_iter().map(|(key, v)| (k(key), SeqNo::new(v.0, v.1))),
-            writes.into_iter().map(|key| (k(key), Value::from_i64(id as i64))),
+            reads
+                .into_iter()
+                .map(|(key, v)| (k(key), SeqNo::new(v.0, v.1))),
+            writes
+                .into_iter()
+                .map(|key| (k(key), Value::from_i64(id as i64))),
         );
         txn.end_ts = Some(SeqNo::new(end.0, end.1));
         txn
@@ -179,7 +184,7 @@ mod tests {
     fn empty_and_singleton_histories_are_serializable() {
         assert!(is_serializable(&[]));
         let t = committed(1, (1, 1), vec![("A", (0, 1))], vec!["B"]);
-        assert!(is_serializable(&[t.clone()]));
+        assert!(is_serializable(std::slice::from_ref(&t)));
         assert!(is_strongly_serializable(&[t]));
     }
 
@@ -214,7 +219,10 @@ mod tests {
         assert!(!is_strongly_serializable(&history));
         let order = serialization_order(&history).unwrap();
         let pos = |id: u64| order.iter().position(|t| t.0 == id).unwrap();
-        assert!(pos(1) < pos(2), "reader must be serialized before the overwriting writer");
+        assert!(
+            pos(1) < pos(2),
+            "reader must be serialized before the overwriting writer"
+        );
     }
 
     #[test]

@@ -94,7 +94,10 @@ impl CcStats {
 
     /// Total block-formation (reordering) time.
     pub fn reorder_latency_total(&self) -> Duration {
-        self.reorder_compute_order + self.reorder_restore_ww + self.reorder_persist + self.reorder_prune
+        self.reorder_compute_order
+            + self.reorder_restore_ww
+            + self.reorder_persist
+            + self.reorder_prune
     }
 
     /// Mean arrival-path latency per transaction.
@@ -142,22 +145,27 @@ mod tests {
 
     #[test]
     fn averages_and_totals() {
-        let mut stats = CcStats::default();
-        stats.arrivals = 4;
-        stats.total_hops = 12;
-        stats.committed = 2;
-        stats.block_span_sum = 6;
-        stats.blocks_formed = 2;
-        stats.arrival_identify_conflict = Duration::from_micros(100);
-        stats.arrival_update_graph = Duration::from_micros(200);
-        stats.arrival_index_record = Duration::from_micros(100);
-        stats.reorder_compute_order = Duration::from_micros(500);
-        stats.reorder_restore_ww = Duration::from_micros(300);
+        let stats = CcStats {
+            arrivals: 4,
+            total_hops: 12,
+            committed: 2,
+            block_span_sum: 6,
+            blocks_formed: 2,
+            arrival_identify_conflict: Duration::from_micros(100),
+            arrival_update_graph: Duration::from_micros(200),
+            arrival_index_record: Duration::from_micros(100),
+            reorder_compute_order: Duration::from_micros(500),
+            reorder_restore_ww: Duration::from_micros(300),
+            ..CcStats::default()
+        };
         assert_eq!(stats.avg_hops(), 3.0);
         assert_eq!(stats.avg_block_span(), 3.0);
         assert_eq!(stats.arrival_latency_total(), Duration::from_micros(400));
         assert_eq!(stats.arrival_latency_per_txn(), Duration::from_micros(100));
         assert_eq!(stats.reorder_latency_total(), Duration::from_micros(800));
-        assert_eq!(stats.reorder_latency_per_block(), Duration::from_micros(400));
+        assert_eq!(
+            stats.reorder_latency_per_block(),
+            Duration::from_micros(400)
+        );
     }
 }

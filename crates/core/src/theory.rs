@@ -36,13 +36,14 @@ pub fn snapshot_consistency(txn: &Transaction, store: &MultiVersionStore) -> Opt
     // it is determined by the last read).
     let mut best = None;
     for candidate in newest_read_block..=store.last_block() {
-        let consistent = txn.read_set.iter().all(|read| {
-            match store.read_at(&read.key, candidate) {
-                Ok(Some(vv)) => vv.version == read.version,
-                Ok(None) => read.version == SeqNo::zero(),
-                Err(_) => false,
-            }
-        });
+        let consistent =
+            txn.read_set
+                .iter()
+                .all(|read| match store.read_at(&read.key, candidate) {
+                    Ok(Some(vv)) => vv.version == read.version,
+                    Ok(None) => read.version == SeqNo::zero(),
+                    Err(_) => false,
+                });
         if consistent {
             best = Some(candidate);
         }
@@ -110,8 +111,14 @@ pub fn figure2a_fixture() -> (MultiVersionStore, Vec<Transaction>) {
     let block2_txn = Transaction::from_parts(
         90,
         1,
-        [(Key::new("B"), SeqNo::new(1, 2)), (Key::new("C"), SeqNo::new(1, 3))],
-        [(Key::new("B"), Value::from_i64(201)), (Key::new("C"), Value::from_i64(201))],
+        [
+            (Key::new("B"), SeqNo::new(1, 2)),
+            (Key::new("C"), SeqNo::new(1, 3)),
+        ],
+        [
+            (Key::new("B"), Value::from_i64(201)),
+            (Key::new("C"), Value::from_i64(201)),
+        ],
     );
     store.apply_block(2, [(&block2_txn, 1)]);
 
@@ -202,7 +209,10 @@ mod tests {
         let txn2 = &txns[0];
         let latest_b = store.latest(&Key::new("B")).unwrap().version;
         assert_eq!(latest_b, SeqNo::new(2, 1));
-        assert_eq!(txn2.read_set.version_of(&Key::new("B")), Some(SeqNo::new(1, 2)));
+        assert_eq!(
+            txn2.read_set.version_of(&Key::new("B")),
+            Some(SeqNo::new(1, 2))
+        );
         // Txn3/4/5 read the up-to-date versions of their keys.
         for txn in &txns[1..] {
             for read in txn.read_set.iter() {
@@ -214,11 +224,13 @@ mod tests {
     #[test]
     fn dependency_classification_matches_figure5() {
         // Build two committed transactions sharing key A with controllable overlap.
-        let mut writer_early = Transaction::from_parts(1, 0, [], [(Key::new("A"), Value::from_i64(1))]);
+        let mut writer_early =
+            Transaction::from_parts(1, 0, [], [(Key::new("A"), Value::from_i64(1))]);
         writer_early.end_ts = Some(SeqNo::new(1, 1));
 
         // Non-concurrent reader of A (simulated after block 1): n-wr.
-        let mut reader_late = Transaction::from_parts(2, 1, [(Key::new("A"), SeqNo::new(1, 1))], []);
+        let mut reader_late =
+            Transaction::from_parts(2, 1, [(Key::new("A"), SeqNo::new(1, 1))], []);
         reader_late.end_ts = Some(SeqNo::new(2, 1));
         assert_eq!(
             classify_dependency_on_key(&writer_early, &reader_late, &Key::new("A")),
@@ -226,7 +238,8 @@ mod tests {
         );
 
         // Concurrent reader (simulated against block 0, committed later): anti-rw.
-        let mut reader_concurrent = Transaction::from_parts(3, 0, [(Key::new("A"), SeqNo::new(0, 1))], []);
+        let mut reader_concurrent =
+            Transaction::from_parts(3, 0, [(Key::new("A"), SeqNo::new(0, 1))], []);
         reader_concurrent.end_ts = Some(SeqNo::new(1, 2));
         assert_eq!(
             classify_dependency_on_key(&writer_early, &reader_concurrent, &Key::new("A")),
@@ -234,7 +247,8 @@ mod tests {
         );
 
         // Concurrent write-write.
-        let mut writer_concurrent = Transaction::from_parts(4, 0, [], [(Key::new("A"), Value::from_i64(2))]);
+        let mut writer_concurrent =
+            Transaction::from_parts(4, 0, [], [(Key::new("A"), Value::from_i64(2))]);
         writer_concurrent.end_ts = Some(SeqNo::new(1, 3));
         assert_eq!(
             classify_dependency_on_key(&writer_early, &writer_concurrent, &Key::new("A")),
@@ -242,7 +256,8 @@ mod tests {
         );
 
         // Non-concurrent write-write.
-        let mut writer_late = Transaction::from_parts(5, 1, [], [(Key::new("A"), Value::from_i64(3))]);
+        let mut writer_late =
+            Transaction::from_parts(5, 1, [], [(Key::new("A"), Value::from_i64(3))]);
         writer_late.end_ts = Some(SeqNo::new(2, 2));
         assert_eq!(
             classify_dependency_on_key(&writer_early, &writer_late, &Key::new("A")),
@@ -250,15 +265,18 @@ mod tests {
         );
 
         // Reader first, writer second, concurrent: c-rw; non-concurrent: n-rw.
-        let mut reader_first = Transaction::from_parts(6, 0, [(Key::new("A"), SeqNo::new(0, 1))], []);
+        let mut reader_first =
+            Transaction::from_parts(6, 0, [(Key::new("A"), SeqNo::new(0, 1))], []);
         reader_first.end_ts = Some(SeqNo::new(1, 1));
-        let mut concurrent_writer = Transaction::from_parts(7, 0, [], [(Key::new("A"), Value::from_i64(9))]);
+        let mut concurrent_writer =
+            Transaction::from_parts(7, 0, [], [(Key::new("A"), Value::from_i64(9))]);
         concurrent_writer.end_ts = Some(SeqNo::new(1, 2));
         assert_eq!(
             classify_dependency_on_key(&reader_first, &concurrent_writer, &Key::new("A")),
             Some(DependencyKind::ConcurrentReadWrite)
         );
-        let mut later_writer = Transaction::from_parts(8, 1, [], [(Key::new("A"), Value::from_i64(9))]);
+        let mut later_writer =
+            Transaction::from_parts(8, 1, [], [(Key::new("A"), Value::from_i64(9))]);
         later_writer.end_ts = Some(SeqNo::new(2, 3));
         assert_eq!(
             classify_dependency_on_key(&reader_first, &later_writer, &Key::new("A")),

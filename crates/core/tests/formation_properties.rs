@@ -33,7 +33,11 @@ fn shape_strategy() -> impl Strategy<Value = Shape> {
         proptest::collection::vec(0u8..8, 0..4),
         0u64..3,
     )
-        .prop_map(|(reads, writes, snapshot_lag)| Shape { reads, writes, snapshot_lag })
+        .prop_map(|(reads, writes, snapshot_lag)| Shape {
+            reads,
+            writes,
+            snapshot_lag,
+        })
 }
 
 /// Materialises a transaction the way an endorsing peer would: the snapshot block is the

@@ -110,7 +110,10 @@ impl BloomFilter {
 
     #[inline]
     fn hash_pair(item: u64) -> (u64, u64) {
-        (splitmix64(item ^ 0x9e37_79b9_7f4a_7c15), splitmix64(item.wrapping_add(0x2545_f491_4f6c_dd1d)) | 1)
+        (
+            splitmix64(item ^ 0x9e37_79b9_7f4a_7c15),
+            splitmix64(item.wrapping_add(0x2545_f491_4f6c_dd1d)) | 1,
+        )
     }
 }
 

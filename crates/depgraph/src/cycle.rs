@@ -61,7 +61,11 @@ impl DependencyGraph {
     /// the given predecessors and successors closes a cycle iff some successor can reach some
     /// predecessor through existing edges (or a transaction appears on both sides).
     pub fn would_close_cycle_exact(&self, preds: &[TxnId], succs: &[TxnId]) -> bool {
-        let pred_set: HashSet<TxnId> = preds.iter().copied().filter(|p| self.contains(*p)).collect();
+        let pred_set: HashSet<TxnId> = preds
+            .iter()
+            .copied()
+            .filter(|p| self.contains(*p))
+            .collect();
         if pred_set.is_empty() {
             return false;
         }

@@ -346,7 +346,9 @@ impl DependencyGraph {
     /// Unions the reachability of `source` (plus `source` itself) into `target` without adding
     /// an edge; used by Algorithm 5's downstream propagation loop.
     pub fn propagate_reachability(&mut self, source: TxnId, target: TxnId) {
-        if source == target || !self.nodes.contains_key(&source.0) || !self.nodes.contains_key(&target.0)
+        if source == target
+            || !self.nodes.contains_key(&source.0)
+            || !self.nodes.contains_key(&target.0)
         {
             return;
         }
@@ -489,7 +491,11 @@ mod tests {
         // New transaction 5 whose successor is 10: everything downstream of 10 must now know
         // that 5 can reach it.
         let report = g.insert_pending(spec(5, 0), &[], &[TxnId(10)], 1);
-        assert!(report.hops >= 2, "should traverse 10 and 11, got {}", report.hops);
+        assert!(
+            report.hops >= 2,
+            "should traverse 10 and 11, got {}",
+            report.hops
+        );
         assert!(g.node(TxnId(10)).unwrap().anti_reachable.contains(TxnId(5)));
         assert!(g.node(TxnId(11)).unwrap().anti_reachable.contains(TxnId(5)));
         assert!(g.reaches_exact(TxnId(5), TxnId(11)));
@@ -504,7 +510,12 @@ mod tests {
         // A new transaction with predecessor 2 and successor 1 would close 1 → 2 → new → 1.
         let check = g.would_close_cycle(&[TxnId(2)], &[TxnId(1)]);
         assert!(!check.is_acyclic());
-        assert_eq!(check, CycleCheck::Cycle { confirmed_exact: Some(true) });
+        assert_eq!(
+            check,
+            CycleCheck::Cycle {
+                confirmed_exact: Some(true)
+            }
+        );
         // The reverse direction (pred 1, succ 2) is fine: new sits between them.
         assert!(g.would_close_cycle(&[TxnId(1)], &[TxnId(2)]).is_acyclic());
     }
@@ -514,16 +525,19 @@ mod tests {
         let mut g = DependencyGraph::new(cfg_exact());
         g.insert_pending(spec(1, 0), &[], &[], 1);
         let check = g.would_close_cycle(&[TxnId(1)], &[TxnId(1)]);
-        assert_eq!(check, CycleCheck::Cycle { confirmed_exact: Some(true) });
+        assert_eq!(
+            check,
+            CycleCheck::Cycle {
+                confirmed_exact: Some(true)
+            }
+        );
     }
 
     #[test]
     fn unknown_ids_are_ignored_by_cycle_test_and_insert() {
         let mut g = DependencyGraph::new(cfg_exact());
         g.insert_pending(spec(1, 0), &[], &[], 1);
-        assert!(g
-            .would_close_cycle(&[TxnId(99)], &[TxnId(1)])
-            .is_acyclic());
+        assert!(g.would_close_cycle(&[TxnId(99)], &[TxnId(1)]).is_acyclic());
         let report = g.insert_pending(spec(2, 0), &[TxnId(77)], &[TxnId(88)], 1);
         assert_eq!(report.hops, 0);
         assert!(g.node(TxnId(2)).unwrap().succ.is_empty());

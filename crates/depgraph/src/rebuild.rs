@@ -38,10 +38,7 @@ impl DependencyGraph {
         // (itself plus everything that reaches it) into each successor.
         let order = self.reachable_in_topo_order(&ids);
         for &from in &order {
-            let succs: Vec<TxnId> = self
-                .node(from)
-                .map(|n| n.succ.clone())
-                .unwrap_or_default();
+            let succs: Vec<TxnId> = self.node(from).map(|n| n.succ.clone()).unwrap_or_default();
             for to in succs {
                 self.propagate_reachability(from, to);
             }
@@ -115,10 +112,17 @@ mod tests {
             (3, 1, false),
             (4, 2, false),
         ] {
-            assert_eq!(g.reaches_exact(TxnId(from), TxnId(to)), expected, "{from}->{to}");
+            assert_eq!(
+                g.reaches_exact(TxnId(from), TxnId(to)),
+                expected,
+                "{from}->{to}"
+            );
             if expected {
                 assert!(
-                    g.node(TxnId(to)).unwrap().anti_reachable.contains(TxnId(from)),
+                    g.node(TxnId(to))
+                        .unwrap()
+                        .anti_reachable
+                        .contains(TxnId(from)),
                     "filter must still report {from} reaches {to}"
                 );
             }
@@ -151,7 +155,11 @@ mod tests {
             "rebuild should shrink the filter ({after} >= {before})"
         );
         // The surviving dependency is still represented.
-        assert!(g.node(TxnId(31)).unwrap().anti_reachable.contains(TxnId(30)));
+        assert!(g
+            .node(TxnId(31))
+            .unwrap()
+            .anti_reachable
+            .contains(TxnId(30)));
         assert!(g.mean_fill_ratio() > 0.0);
         assert_eq!(g.popcounts().len(), 2);
     }

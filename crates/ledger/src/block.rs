@@ -128,7 +128,10 @@ impl Block {
 
     /// Number of aborted transactions in the block.
     pub fn aborted_count(&self) -> usize {
-        self.entries.iter().filter(|e| e.status.is_aborted()).count()
+        self.entries
+            .iter()
+            .filter(|e| e.status.is_aborted())
+            .count()
     }
 
     /// Looks up the entry of a given transaction.
@@ -178,7 +181,11 @@ mod tests {
 
     #[test]
     fn commit_flags_drive_raw_vs_effective_counts() {
-        let mut block = Block::build(1, Digest::ZERO, vec![sample_txn(1), sample_txn(2), sample_txn(3)]);
+        let mut block = Block::build(
+            1,
+            Digest::ZERO,
+            vec![sample_txn(1), sample_txn(2), sample_txn(3)],
+        );
         block.entries[0].status = TxnStatus::Committed;
         block.entries[1].status = TxnStatus::Aborted(AbortReason::StaleRead);
         block.entries[2].status = TxnStatus::Committed;

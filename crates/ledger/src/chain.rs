@@ -143,7 +143,11 @@ mod tests {
     fn chain_of(n: u64) -> Ledger {
         let mut ledger = Ledger::new();
         for height in 1..=n {
-            let block = Block::build(height, ledger.tip_hash(), vec![txn(height * 10), txn(height * 10 + 1)]);
+            let block = Block::build(
+                height,
+                ledger.tip_hash(),
+                vec![txn(height * 10), txn(height * 10 + 1)],
+            );
             ledger.append(block).unwrap();
         }
         ledger
@@ -178,7 +182,10 @@ mod tests {
     fn tampered_body_is_rejected_on_append_and_on_verify() {
         let mut ledger = chain_of(1);
         let mut block = Block::build(2, ledger.tip_hash(), vec![txn(20)]);
-        block.entries[0].txn.write_set.record(Key::new("A"), Value::from_i64(-1));
+        block.entries[0]
+            .txn
+            .write_set
+            .record(Key::new("A"), Value::from_i64(-1));
         assert!(ledger.append(block).is_err());
 
         // Tamper after append (simulating a corrupted replica) — verify_integrity catches it.
@@ -194,8 +201,14 @@ mod tests {
     fn block_lookup_and_bounds() {
         let ledger = chain_of(3);
         assert_eq!(ledger.block(2).unwrap().number(), 2);
-        assert!(matches!(ledger.block(0), Err(CommonError::BlockNotFound(0))));
-        assert!(matches!(ledger.block(9), Err(CommonError::BlockNotFound(9))));
+        assert!(matches!(
+            ledger.block(0),
+            Err(CommonError::BlockNotFound(0))
+        ));
+        assert!(matches!(
+            ledger.block(9),
+            Err(CommonError::BlockNotFound(9))
+        ));
     }
 
     #[test]

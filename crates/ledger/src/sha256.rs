@@ -181,7 +181,7 @@ mod tests {
         }
         // 64 bytes of 'a' — cross-checked with an external implementation.
         assert_eq!(
-            sha256(&vec![b'a'; 64]).to_hex(),
+            sha256(&[b'a'; 64]).to_hex(),
             "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
         );
     }

@@ -1,0 +1,157 @@
+//! Offline shim for the subset of `crossbeam` used by this workspace:
+//! `channel::{unbounded, Sender, Receiver}`. Like the upstream crate (and
+//! unlike `std::sync::mpsc`), both endpoints are `Clone + Send + Sync`, which
+//! the consensus log relies on to hand producer handles to orderer threads.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Mutex};
+
+    struct Queue<T> {
+        items: Mutex<VecDeque<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let queue = Arc::new(Queue {
+            items: Mutex::new(VecDeque::new()),
+        });
+        (
+            Sender {
+                queue: Arc::clone(&queue),
+            },
+            Receiver { queue },
+        )
+    }
+
+    /// The sending half; cloneable across threads.
+    pub struct Sender<T> {
+        queue: Arc<Queue<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message. Never fails: the queue lives as long as any endpoint.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.queue
+                .items
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// The receiving half; cloneable, with clones competing for messages.
+    pub struct Receiver<T> {
+        queue: Arc<Queue<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the oldest message, or reports the channel empty.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.queue
+                .items
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+                .ok_or(TryRecvError::Empty)
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.queue
+                .items
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Error type for [`Sender::send`]; never actually produced by this shim.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error type for [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message was queued at the time of the call.
+        Empty,
+        /// All senders dropped (not tracked by this shim; kept for API parity).
+        Disconnected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, TryRecvError};
+
+    #[test]
+    fn fifo_order_across_cloned_senders() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        tx.send(3).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn senders_work_from_multiple_threads() {
+        let (tx, rx) = unbounded();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        tx.send(t * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut received = 0;
+        while rx.try_recv().is_ok() {
+            received += 1;
+        }
+        assert_eq!(received, 400);
+    }
+}

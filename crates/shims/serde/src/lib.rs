@@ -1,0 +1,18 @@
+//! Offline shim for `serde`'s derive macros. The workspace only ever writes
+//! `#[derive(Serialize, Deserialize)]` — it never calls serialization APIs —
+//! so the derives expand to nothing. If real serialization is ever needed,
+//! replace this shim with the upstream crate in the root manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -88,7 +88,10 @@ impl EventQueue {
     /// Pops the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
         let Reverse((at, seq)) = self.heap.pop()?;
-        let event = self.payloads.remove(&seq).expect("payload exists for scheduled event");
+        let event = self
+            .payloads
+            .remove(&seq)
+            .expect("payload exists for scheduled event");
         Some((at, event))
     }
 
@@ -140,7 +143,12 @@ mod tests {
         let (t, _) = q.pop().unwrap();
         assert_eq!(t, 5);
         q.schedule(4, Event::ClientSubmit { request_no: 2 });
-        q.schedule(4, Event::BlockTimeout { blocks_formed_at_arming: 0 });
+        q.schedule(
+            4,
+            Event::BlockTimeout {
+                blocks_formed_at_arming: 0,
+            },
+        );
         let (_, first) = q.pop().unwrap();
         assert!(matches!(first, Event::ClientSubmit { request_no: 2 }));
         let (_, second) = q.pop().unwrap();

@@ -1,7 +1,7 @@
 //! Simulation metrics: everything the paper's figures report.
 
-use eov_common::abort::AbortReason;
 use eov_baselines::api::SystemKind;
+use eov_common::abort::AbortReason;
 use std::collections::HashMap;
 
 /// The result of one simulation run.
@@ -80,10 +80,20 @@ impl SimReport {
         for (reason, count) in &self.aborts {
             *buckets.entry(reason.figure14_bucket()).or_insert(0) += count;
         }
-        let mut out: Vec<(&'static str, f64)> = ["Concurrent-ww", "2 consecutive rw", "Simulation abort", "Others"]
-            .iter()
-            .map(|name| (*name, buckets.get(name).copied().unwrap_or(0) as f64 / total))
-            .collect();
+        let mut out: Vec<(&'static str, f64)> = [
+            "Concurrent-ww",
+            "2 consecutive rw",
+            "Simulation abort",
+            "Others",
+        ]
+        .iter()
+        .map(|name| {
+            (
+                *name,
+                buckets.get(name).copied().unwrap_or(0) as f64 / total,
+            )
+        })
+        .collect();
         // Keep deterministic order for table output.
         out.sort_by(|a, b| a.0.cmp(b.0));
         out
@@ -139,7 +149,11 @@ mod tests {
         assert_eq!(breakdown.len(), 4);
         let total: f64 = breakdown.iter().map(|(_, f)| f).sum();
         assert!((total - 1.0).abs() < 1e-9);
-        let ww = breakdown.iter().find(|(n, _)| *n == "Concurrent-ww").unwrap().1;
+        let ww = breakdown
+            .iter()
+            .find(|(n, _)| *n == "Concurrent-ww")
+            .unwrap()
+            .1;
         assert!((ww - 0.2).abs() < 1e-9);
     }
 

@@ -86,7 +86,8 @@ impl Simulator {
     /// Runs one configuration to completion and reports the metrics.
     pub fn run(config: &SimulationConfig) -> SimReport {
         let profile = PipelineProfile::for_system(config.profile, config.system);
-        let mut generator = WorkloadGenerator::new(config.workload.clone(), config.params, config.seed);
+        let mut generator =
+            WorkloadGenerator::new(config.workload.clone(), config.params, config.seed);
 
         // Substrate: state store, ledger, snapshot manager, endorser, concurrency control.
         let mut store = MultiVersionStore::new();
@@ -100,8 +101,9 @@ impl Simulator {
         // Event loop state.
         let mut queue = EventQueue::new();
         let horizon: SimTime = ms(config.duration_s * 1_000.0);
-        let interarrival_us: SimTime =
-            (1_000_000f64 / config.params.request_rate_tps as f64).round().max(1.0) as SimTime;
+        let interarrival_us: SimTime = (1_000_000f64 / config.params.request_rate_tps as f64)
+            .round()
+            .max(1.0) as SimTime;
         let mut last_event_at: SimTime = 0;
 
         // Counters.
@@ -110,6 +112,7 @@ impl Simulator {
         let mut committed: u64 = 0;
         let mut committed_with_anti_rw: u64 = 0;
         let mut blocks_formed: u64 = 0;
+        let mut arrivals_since_cut: usize = 0;
         let mut latency_sum_us: u128 = 0;
         let mut block_span_sum: u64 = 0;
         let mut validation_aborts: HashMap<AbortReason, u64> = HashMap::new();
@@ -157,54 +160,104 @@ impl Simulator {
                         },
                     );
                     // Next client request.
-                    queue.schedule(now + interarrival_us, Event::ClientSubmit { request_no: request_no + 1 });
+                    queue.schedule(
+                        now + interarrival_us,
+                        Event::ClientSubmit {
+                            request_no: request_no + 1,
+                        },
+                    );
                 }
 
-                Event::EndorseDone { mut txn, submitted_at } => {
+                Event::EndorseDone {
+                    mut txn,
+                    submitted_at,
+                } => {
                     // Under the vanilla-Fabric lock the simulation effectively ran against the
                     // latest block at completion time; re-simulate if the chain advanced.
                     if profile.endorsement_lock && txn.snapshot_block < store.last_block() {
-                        txn = Self::resimulate(&endorser, &store, &txn, store.last_block(), &mut generator);
+                        txn = Self::resimulate(
+                            &endorser,
+                            &store,
+                            &txn,
+                            store.last_block(),
+                            &mut generator,
+                        );
                     }
                     if cc.on_endorsement(&txn, store.last_block()).is_accept() {
-                        let broadcast_ms = config.params.client_delay_ms as f64 + profile.ordering_latency_ms;
-                        queue.schedule(now + ms(broadcast_ms), Event::OrdererReceive { txn, submitted_at });
+                        let broadcast_ms =
+                            config.params.client_delay_ms as f64 + profile.ordering_latency_ms;
+                        queue.schedule(
+                            now + ms(broadcast_ms),
+                            Event::OrdererReceive { txn, submitted_at },
+                        );
                     }
                 }
 
                 Event::OrdererReceive { txn, submitted_at } => {
                     let id = txn.id;
-                    if cc.on_arrival(txn).is_accept() {
+                    // The orderer's batching policy counts every delivered transaction,
+                    // exactly like Fabric's MaxMessageCount: an early abort still consumes a
+                    // slot in the current batch window. (Counting only accepted transactions
+                    // would stretch Fabric#'s batch windows under contention and starve hot
+                    // keys of commit opportunities — a cadence artifact, not a CC property.)
+                    arrivals_since_cut += 1;
+                    let accepted = cc.on_arrival(txn).is_accept();
+                    if accepted {
                         submitted_at_by_txn.insert(id, submitted_at);
                         if cc.pending_len() == 1 {
                             queue.schedule(
                                 now + ms(config.block.block_timeout_ms as f64),
-                                Event::BlockTimeout { blocks_formed_at_arming: blocks_formed },
+                                Event::BlockTimeout {
+                                    blocks_formed_at_arming: blocks_formed,
+                                },
                             );
                         }
-                        if cc.pending_len() >= config.block.max_txns_per_block {
+                    }
+                    if arrivals_since_cut >= config.block.max_txns_per_block {
+                        arrivals_since_cut = 0;
+                        if cc.pending_len() > 0 {
                             Self::cut_block(
-                                &mut cc, &profile, config.system, &mut blocks_formed,
-                                &mut submitted_at_by_txn, &mut queue, now,
+                                &mut cc,
+                                &profile,
+                                config.system,
+                                &mut blocks_formed,
+                                &mut submitted_at_by_txn,
+                                &mut queue,
+                                now,
                             );
                         }
                     }
                 }
 
-                Event::BlockTimeout { blocks_formed_at_arming } => {
+                Event::BlockTimeout {
+                    blocks_formed_at_arming,
+                } => {
                     if blocks_formed == blocks_formed_at_arming && cc.pending_len() > 0 {
+                        arrivals_since_cut = 0;
                         Self::cut_block(
-                            &mut cc, &profile, config.system, &mut blocks_formed,
-                            &mut submitted_at_by_txn, &mut queue, now,
+                            &mut cc,
+                            &profile,
+                            config.system,
+                            &mut blocks_formed,
+                            &mut submitted_at_by_txn,
+                            &mut queue,
+                            now,
                         );
                     }
                 }
 
-                Event::BlockDelivered { txns, submitted_at, formed_at: _ } => {
+                Event::BlockDelivered {
+                    txns,
+                    submitted_at,
+                    formed_at: _,
+                } => {
                     let start = now.max(validator_free_at);
                     let service = profile.validation_ms(txns.len()) + lock_penalty_ms;
                     validator_free_at = start + ms(service);
-                    queue.schedule(validator_free_at, Event::BlockValidated { txns, submitted_at });
+                    queue.schedule(
+                        validator_free_at,
+                        Event::BlockValidated { txns, submitted_at },
+                    );
                 }
 
                 Event::BlockValidated { txns, submitted_at } => {
@@ -221,7 +274,8 @@ impl Simulator {
                     };
 
                     let mut block = Block::build(block_no, ledger.tip_hash(), txns);
-                    let mut outcome: Vec<(Transaction, TxnStatus)> = Vec::with_capacity(block.entries.len());
+                    let mut outcome: Vec<(Transaction, TxnStatus)> =
+                        Vec::with_capacity(block.entries.len());
                     for ((entry, status), submitted) in
                         block.entries.iter_mut().zip(statuses).zip(submitted_at)
                     {
@@ -231,9 +285,12 @@ impl Simulator {
                             TxnStatus::Committed => {
                                 committed += 1;
                                 latency_sum_us += (now.saturating_sub(submitted)) as u128;
-                                block_span_sum +=
-                                    entry.txn.end_ts.map(|e| e.block).unwrap_or(block_no)
-                                        .saturating_sub(entry.txn.snapshot_block);
+                                block_span_sum += entry
+                                    .txn
+                                    .end_ts
+                                    .map(|e| e.block)
+                                    .unwrap_or(block_no)
+                                    .saturating_sub(entry.txn.snapshot_block);
                             }
                             TxnStatus::Aborted(reason) => {
                                 *validation_aborts.entry(reason).or_insert(0) += 1;
@@ -281,7 +338,10 @@ impl Simulator {
         SystemKind::all()
             .into_iter()
             .map(|system| {
-                let config = SimulationConfig { system, ..base.clone() };
+                let config = SimulationConfig {
+                    system,
+                    ..base.clone()
+                };
                 Self::run(&config)
             })
             .collect()
@@ -296,7 +356,9 @@ impl Simulator {
         template: &eov_workload::generator::TxnTemplate,
         _locked: bool,
     ) -> Transaction {
-        endorser.simulate_at(store, TxnId(request_no), snapshot_block, |ctx| template.run(ctx))
+        endorser.simulate_at(store, TxnId(request_no), snapshot_block, |ctx| {
+            template.run(ctx)
+        })
     }
 
     /// Re-simulates a transaction against a newer snapshot (vanilla Fabric's lock semantics:
@@ -351,7 +413,11 @@ impl Simulator {
         let delay = profile.reorder_ms(system, txns.len()) + 2.0;
         queue.schedule(
             now + ms(delay),
-            Event::BlockDelivered { txns, submitted_at, formed_at: now },
+            Event::BlockDelivered {
+                txns,
+                submitted_at,
+                formed_at: now,
+            },
         );
     }
 
@@ -402,7 +468,11 @@ mod tests {
             config.workload = WorkloadKind::NoOp;
             let report = Simulator::run(&config);
             assert!(report.offered > 0, "{system}");
-            assert_eq!(report.aborted(), 0, "{system}: no-op transactions never conflict");
+            assert_eq!(
+                report.aborted(),
+                0,
+                "{system}: no-op transactions never conflict"
+            );
             assert_eq!(report.committed, report.in_ledger, "{system}");
             assert!(report.effective_tps() > 0.0, "{system}");
             assert!(report.blocks > 0, "{system}");
@@ -421,7 +491,10 @@ mod tests {
 
         // Under skew Fabric loses a visible fraction of its raw throughput to validation
         // aborts, while FabricSharp's effective throughput stays at (or above) Fabric's.
-        assert!(fabric.aborted() > 0, "skewed updates must abort under Fabric");
+        assert!(
+            fabric.aborted() > 0,
+            "skewed updates must abort under Fabric"
+        );
         assert!(fabric.effective_tps() < fabric.raw_tps());
         assert!(
             sharp.effective_tps() >= fabric.effective_tps() * 0.95,
@@ -459,7 +532,8 @@ mod tests {
         slow.params.request_rate_tps = 4_000;
         slow.params.num_accounts = 1_000;
 
-        let mut fast = SimulationConfig::fast_fabric(SystemKind::Fabric, WorkloadKind::CreateAccount);
+        let mut fast =
+            SimulationConfig::fast_fabric(SystemKind::Fabric, WorkloadKind::CreateAccount);
         fast.duration_s = 3.0;
         fast.params.request_rate_tps = 4_000;
         fast.params.num_accounts = 1_000;

@@ -126,7 +126,11 @@ impl MultiVersionStore {
         // Versions are sorted; find the last one with version.block <= block.
         let bound = SeqNo::new(block, u32::MAX);
         let idx = chain.partition_point(|v| v.version <= bound);
-        Ok(if idx == 0 { None } else { Some(&chain[idx - 1]) })
+        Ok(if idx == 0 {
+            None
+        } else {
+            Some(&chain[idx - 1])
+        })
     }
 
     /// Full version history of `key` (oldest first). Empty if the key was never written.
@@ -258,7 +262,10 @@ mod tests {
         assert_eq!(hist.first().unwrap().version.block, 3);
         assert_eq!(hist.len(), 3);
         // Snapshot reads below the pruning horizon are refused.
-        assert_eq!(store.read_at(&k("A"), 2), Err(CommonError::SnapshotPruned(2)));
+        assert_eq!(
+            store.read_at(&k("A"), 2),
+            Err(CommonError::SnapshotPruned(2))
+        );
         // Reads at or above the horizon still work.
         assert_eq!(
             store.read_at(&k("A"), 4).unwrap().unwrap().value.as_i64(),
@@ -291,8 +298,7 @@ mod proptests {
     ) -> Option<i64> {
         writes
             .iter()
-            .filter(|(k, b, _)| *k == key && *b <= block)
-            .next_back()
+            .rfind(|(k, b, _)| *k == key && *b <= block)
             .map(|(_, _, v)| *v)
     }
 

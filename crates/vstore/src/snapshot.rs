@@ -211,7 +211,9 @@ mod tests {
         let store = seeded_store();
         let snap = SnapshotView::new(&store, 0);
         let mut reads = ReadSet::new();
-        let v = snap.read_recording(&Key::new("missing"), &mut reads).unwrap();
+        let v = snap
+            .read_recording(&Key::new("missing"), &mut reads)
+            .unwrap();
         assert!(v.is_none());
         assert_eq!(reads.version_of(&Key::new("missing")), Some(SeqNo::zero()));
     }

@@ -67,7 +67,10 @@ mod tests {
     use eov_vstore::{MultiVersionStore, SnapshotManager};
     use fabricsharp_core::endorser::SnapshotEndorser;
 
-    fn endorse(contract: &dyn SmartContract, store: &MultiVersionStore) -> eov_common::txn::Transaction {
+    fn endorse(
+        contract: &dyn SmartContract,
+        store: &MultiVersionStore,
+    ) -> eov_common::txn::Transaction {
         let mgr = SnapshotManager::new();
         mgr.register_block(store.last_block());
         let endorser = SnapshotEndorser::new(mgr);

@@ -133,8 +133,10 @@ impl WorkloadGenerator {
                 }
             }
             WorkloadKind::ModifiedSmallbank => {
-                let reads = self.pick_accounts(self.params.reads_per_txn, self.params.read_hot_ratio);
-                let writes = self.pick_accounts(self.params.writes_per_txn, self.params.write_hot_ratio);
+                let reads =
+                    self.pick_accounts(self.params.reads_per_txn, self.params.read_hot_ratio);
+                let writes =
+                    self.pick_accounts(self.params.writes_per_txn, self.params.write_hot_ratio);
                 TxnTemplate::Smallbank(SmallbankOp::ModifiedRw { reads, writes })
             }
             WorkloadKind::MixedSmallbank { .. } => TxnTemplate::Smallbank(self.next_mixed_op()),
@@ -172,7 +174,10 @@ impl WorkloadGenerator {
 
     /// The Section 5.4 operation mix.
     fn next_mixed_op(&mut self) -> SmallbankOp {
-        let zipf = self.zipf.as_ref().expect("zipf initialised for MixedSmallbank");
+        let zipf = self
+            .zipf
+            .as_ref()
+            .expect("zipf initialised for MixedSmallbank");
         let account = zipf.sample(&mut self.rng);
         let roll: f64 = self.rng.gen_range(0.0..1.0);
         if roll < 0.50 {
@@ -218,8 +223,10 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic_for_a_seed() {
-        let mut a = WorkloadGenerator::new(WorkloadKind::MixedSmallbank { theta: 0.8 }, params(100), 42);
-        let mut b = WorkloadGenerator::new(WorkloadKind::MixedSmallbank { theta: 0.8 }, params(100), 42);
+        let mut a =
+            WorkloadGenerator::new(WorkloadKind::MixedSmallbank { theta: 0.8 }, params(100), 42);
+        let mut b =
+            WorkloadGenerator::new(WorkloadKind::MixedSmallbank { theta: 0.8 }, params(100), 42);
         for _ in 0..50 {
             assert_eq!(a.next_template(), b.next_template());
         }
@@ -250,7 +257,9 @@ mod tests {
         let hot = p.num_hot_accounts();
         let mut gen = WorkloadGenerator::new(WorkloadKind::ModifiedSmallbank, p, 3);
         for _ in 0..20 {
-            if let TxnTemplate::Smallbank(SmallbankOp::ModifiedRw { reads, writes }) = gen.next_template() {
+            if let TxnTemplate::Smallbank(SmallbankOp::ModifiedRw { reads, writes }) =
+                gen.next_template()
+            {
                 assert!(reads.iter().all(|a| *a < hot));
                 assert!(writes.iter().all(|a| *a < hot));
             }
@@ -264,7 +273,10 @@ mod tests {
         for _ in 0..10 {
             match gen.next_template() {
                 TxnTemplate::Smallbank(SmallbankOp::CreateAccount { account, .. }) => {
-                    assert!(account >= 50, "new accounts must not collide with genesis accounts");
+                    assert!(
+                        account >= 50,
+                        "new accounts must not collide with genesis accounts"
+                    );
                     assert!(seen.insert(account), "accounts must be unique");
                 }
                 other => panic!("unexpected template {other:?}"),
@@ -274,7 +286,11 @@ mod tests {
 
     #[test]
     fn mixed_workload_matches_the_target_mix_roughly() {
-        let mut gen = WorkloadGenerator::new(WorkloadKind::MixedSmallbank { theta: 0.0 }, params(1_000), 11);
+        let mut gen = WorkloadGenerator::new(
+            WorkloadKind::MixedSmallbank { theta: 0.0 },
+            params(1_000),
+            11,
+        );
         let (mut reads, mut singles, mut doubles) = (0usize, 0usize, 0usize);
         for _ in 0..2_000 {
             match gen.next_template() {
@@ -284,14 +300,18 @@ mod tests {
                     | SmallbankOp::WriteCheck { .. }
                     | SmallbankOp::TransactSavings { .. },
                 ) => singles += 1,
-                TxnTemplate::Smallbank(SmallbankOp::SendPayment { .. } | SmallbankOp::Amalgamate { .. }) => {
-                    doubles += 1
-                }
+                TxnTemplate::Smallbank(
+                    SmallbankOp::SendPayment { .. } | SmallbankOp::Amalgamate { .. },
+                ) => doubles += 1,
                 other => panic!("unexpected template {other:?}"),
             }
         }
         let frac = |x: usize| x as f64 / 2_000.0;
-        assert!((frac(reads) - 0.50).abs() < 0.05, "read-only fraction {}", frac(reads));
+        assert!(
+            (frac(reads) - 0.50).abs() < 0.05,
+            "read-only fraction {}",
+            frac(reads)
+        );
         assert!((frac(singles) - 0.30).abs() < 0.05);
         assert!((frac(doubles) - 0.20).abs() < 0.05);
     }
@@ -312,7 +332,12 @@ mod tests {
         assert_eq!(TxnTemplate::NoOp.read_count(), 0);
         assert_eq!(TxnTemplate::KvUpdate { key_index: 1 }.read_count(), 1);
         assert_eq!(
-            TxnTemplate::Smallbank(SmallbankOp::SendPayment { from: 0, to: 1, amount: 1 }).read_count(),
+            TxnTemplate::Smallbank(SmallbankOp::SendPayment {
+                from: 0,
+                to: 1,
+                amount: 1
+            })
+            .read_count(),
             2
         );
     }

@@ -167,7 +167,10 @@ impl SmallbankContract {
                 let to_bal = ctx.read_balance(&checking_key(*to));
                 ctx.write(savings_key(*from), Value::from_i64(0));
                 ctx.write(checking_key(*from), Value::from_i64(0));
-                ctx.write(checking_key(*to), Value::from_i64(to_bal + savings + checking));
+                ctx.write(
+                    checking_key(*to),
+                    Value::from_i64(to_bal + savings + checking),
+                );
             }
             SmallbankOp::ModifiedRw { reads, writes } => {
                 let mut acc = 0i64;
@@ -207,25 +210,50 @@ mod tests {
     fn genesis_creates_two_keys_per_account() {
         let store = seeded_store(5);
         assert_eq!(store.key_count(), 10);
-        assert_eq!(store.latest_value(&checking_key(3)).unwrap().as_i64(), Some(1_000));
+        assert_eq!(
+            store.latest_value(&checking_key(3)).unwrap().as_i64(),
+            Some(1_000)
+        );
     }
 
     #[test]
     fn send_payment_moves_money_between_checking_accounts() {
         let store = seeded_store(3);
-        let txn = endorse(&store, &SmallbankOp::SendPayment { from: 0, to: 1, amount: 250 });
+        let txn = endorse(
+            &store,
+            &SmallbankOp::SendPayment {
+                from: 0,
+                to: 1,
+                amount: 250,
+            },
+        );
         assert_eq!(txn.read_set.len(), 2);
-        assert_eq!(txn.write_set.value_of(&checking_key(0)).unwrap().as_i64(), Some(750));
-        assert_eq!(txn.write_set.value_of(&checking_key(1)).unwrap().as_i64(), Some(1_250));
+        assert_eq!(
+            txn.write_set.value_of(&checking_key(0)).unwrap().as_i64(),
+            Some(750)
+        );
+        assert_eq!(
+            txn.write_set.value_of(&checking_key(1)).unwrap().as_i64(),
+            Some(1_250)
+        );
     }
 
     #[test]
     fn amalgamate_zeroes_the_source_and_credits_the_target() {
         let store = seeded_store(3);
         let txn = endorse(&store, &SmallbankOp::Amalgamate { from: 2, to: 0 });
-        assert_eq!(txn.write_set.value_of(&savings_key(2)).unwrap().as_i64(), Some(0));
-        assert_eq!(txn.write_set.value_of(&checking_key(2)).unwrap().as_i64(), Some(0));
-        assert_eq!(txn.write_set.value_of(&checking_key(0)).unwrap().as_i64(), Some(3_000));
+        assert_eq!(
+            txn.write_set.value_of(&savings_key(2)).unwrap().as_i64(),
+            Some(0)
+        );
+        assert_eq!(
+            txn.write_set.value_of(&checking_key(2)).unwrap().as_i64(),
+            Some(0)
+        );
+        assert_eq!(
+            txn.write_set.value_of(&checking_key(0)).unwrap().as_i64(),
+            Some(3_000)
+        );
         assert_eq!(SmallbankOp::Amalgamate { from: 2, to: 0 }.read_count(), 3);
     }
 
@@ -242,7 +270,11 @@ mod tests {
     #[test]
     fn create_account_is_write_only() {
         let store = seeded_store(1);
-        let op = SmallbankOp::CreateAccount { account: 99, checking: 10, savings: 20 };
+        let op = SmallbankOp::CreateAccount {
+            account: 99,
+            checking: 10,
+            savings: 20,
+        };
         let txn = endorse(&store, &op);
         assert!(txn.read_set.is_empty());
         assert_eq!(txn.write_set.len(), 2);
@@ -253,22 +285,37 @@ mod tests {
     #[test]
     fn modified_rw_reads_and_writes_the_requested_accounts() {
         let store = seeded_store(10);
-        let op = SmallbankOp::ModifiedRw { reads: vec![1, 2, 3, 4], writes: vec![5, 6, 7, 8] };
+        let op = SmallbankOp::ModifiedRw {
+            reads: vec![1, 2, 3, 4],
+            writes: vec![5, 6, 7, 8],
+        };
         let txn = endorse(&store, &op);
         assert_eq!(txn.read_set.len(), 4);
         assert_eq!(txn.write_set.len(), 4);
         assert_eq!(op.read_count(), 4);
         // The derived value is the mean of the read balances (all 1,000 at genesis).
-        assert_eq!(txn.write_set.value_of(&checking_key(5)).unwrap().as_i64(), Some(1_000));
+        assert_eq!(
+            txn.write_set.value_of(&checking_key(5)).unwrap().as_i64(),
+            Some(1_000)
+        );
     }
 
     #[test]
     fn single_account_updates_touch_exactly_one_key() {
         let store = seeded_store(4);
         for op in [
-            SmallbankOp::DepositChecking { account: 1, amount: 5 },
-            SmallbankOp::WriteCheck { account: 1, amount: 5 },
-            SmallbankOp::TransactSavings { account: 1, amount: 5 },
+            SmallbankOp::DepositChecking {
+                account: 1,
+                amount: 5,
+            },
+            SmallbankOp::WriteCheck {
+                account: 1,
+                amount: 5,
+            },
+            SmallbankOp::TransactSavings {
+                account: 1,
+                amount: 5,
+            },
         ] {
             let txn = endorse(&store, &op);
             assert_eq!(txn.read_set.len(), 1, "{op:?}");

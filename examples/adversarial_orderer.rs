@@ -7,7 +7,9 @@
 //! cargo run --example adversarial_orderer
 //! ```
 
-use fabricsharp::consensus::adversary::{ClientSubmission, FrontRunningLeader, HonestLeader, LeaderPolicy};
+use fabricsharp::consensus::adversary::{
+    ClientSubmission, FrontRunningLeader, HonestLeader, LeaderPolicy,
+};
 use fabricsharp::prelude::*;
 
 /// Builds the victim transaction: reads and writes the contended record against block N.
@@ -38,7 +40,11 @@ fn run_scenario(label: &str, leader: &mut dyn LeaderPolicy, submissions: Vec<Cli
         let decision = cc.on_arrival(txn);
         println!(
             "  Txn{id}: {}",
-            if decision.is_accept() { "accepted for the next block" } else { "ABORTED before ordering" }
+            if decision.is_accept() {
+                "accepted for the next block"
+            } else {
+                "ABORTED before ordering"
+            }
         );
     }
     let block = cc.cut_block();
@@ -70,16 +76,23 @@ fn main() {
         &mut attacker,
         vec![ClientSubmission::Plain(victim_txn(7))],
     );
-    println!("  attacks launched by the leader: {}\n", attacker.attacks_launched);
+    println!(
+        "  attacks launched by the leader: {}\n",
+        attacker.attacks_launched
+    );
 
     // Mitigation: the client submits only a hash commitment; the leader cannot inspect the
     // read/write sets before the order is fixed, so it has nothing to front-run. The contents
     // are revealed (and checked against the commitment) only after sequencing.
-    let mut blinded_attacker = FrontRunningLeader::new(Key::new("asset"), |victim: &Transaction| victim.clone());
+    let mut blinded_attacker =
+        FrontRunningLeader::new(Key::new("asset"), |victim: &Transaction| victim.clone());
     run_scenario(
         "malicious leader, hash-commitment submission (mitigated)",
         &mut blinded_attacker,
         vec![ClientSubmission::committed(victim_txn(7))],
     );
-    println!("  attacks launched by the leader: {}", blinded_attacker.attacks_launched);
+    println!(
+        "  attacks launched by the leader: {}",
+        blinded_attacker.attacks_launched
+    );
 }

@@ -100,7 +100,11 @@ fn main() {
     );
     println!(
         "hash chain integrity: {}",
-        if chain.ledger().verify_integrity().is_ok() { "OK" } else { "BROKEN" }
+        if chain.ledger().verify_integrity().is_ok() {
+            "OK"
+        } else {
+            "BROKEN"
+        }
     );
     println!(
         "committed history serializable: {}",

@@ -67,7 +67,11 @@ fn main() {
         for (txn, status) in block.iter().zip(statuses) {
             outcomes.push((
                 txn.id.0,
-                if status.is_committed() { "COMMIT" } else { "abort (validation)" },
+                if status.is_committed() {
+                    "COMMIT"
+                } else {
+                    "abort (validation)"
+                },
             ));
         }
         // Transactions that were neither rejected early nor present in the cut block were
@@ -81,7 +85,10 @@ fn main() {
         matrix.push((system, outcomes));
     }
 
-    println!("{:<10} {:>28} {:>28} {:>28} {:>28}", "System", "Txn2", "Txn3", "Txn4", "Txn5");
+    println!(
+        "{:<10} {:>28} {:>28} {:>28} {:>28}",
+        "System", "Txn2", "Txn3", "Txn4", "Txn5"
+    );
     for (system, outcomes) in &matrix {
         let cell = |id: u64| -> &str {
             outcomes

@@ -16,7 +16,10 @@ use fabricsharp::prelude::*;
 
 fn main() {
     for write_hot in [0.10f64, 0.40] {
-        println!("== modified Smallbank, write hot ratio {:.0}% ==", write_hot * 100.0);
+        println!(
+            "== modified Smallbank, write hot ratio {:.0}% ==",
+            write_hot * 100.0
+        );
         println!(
             "{:<10} {:>10} {:>12} {:>10} {:>12} {:>14}",
             "System", "raw tps", "effective", "aborted", "abort rate", "avg latency ms"

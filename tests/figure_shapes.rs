@@ -16,11 +16,20 @@ fn quick(system: SystemKind, workload: WorkloadKind) -> SimulationConfig {
 
 #[test]
 fn figure1_shape_raw_is_flat_while_effective_drops_with_skew() {
-    let low = Simulator::run(&quick(SystemKind::Fabric, WorkloadKind::KvUpdate { theta: 0.2 }));
-    let high = Simulator::run(&quick(SystemKind::Fabric, WorkloadKind::KvUpdate { theta: 1.2 }));
+    let low = Simulator::run(&quick(
+        SystemKind::Fabric,
+        WorkloadKind::KvUpdate { theta: 0.2 },
+    ));
+    let high = Simulator::run(&quick(
+        SystemKind::Fabric,
+        WorkloadKind::KvUpdate { theta: 1.2 },
+    ));
     // Raw throughput barely moves...
     let raw_ratio = high.raw_tps() / low.raw_tps();
-    assert!((0.8..1.2).contains(&raw_ratio), "raw throughput should be flat, ratio {raw_ratio:.2}");
+    assert!(
+        (0.8..1.2).contains(&raw_ratio),
+        "raw throughput should be flat, ratio {raw_ratio:.2}"
+    );
     // ...while effective throughput drops markedly under heavy skew.
     assert!(
         high.effective_tps() < 0.8 * low.effective_tps(),
@@ -33,8 +42,12 @@ fn figure1_shape_raw_is_flat_while_effective_drops_with_skew() {
 
 #[test]
 fn figure10_shape_fabricsharp_leads_at_the_default_block_size() {
-    let reports = Simulator::run_all_systems(&quick(SystemKind::Fabric, WorkloadKind::ModifiedSmallbank));
-    let effective: Vec<(SystemKind, f64)> = reports.iter().map(|r| (r.system, r.effective_tps())).collect();
+    let reports =
+        Simulator::run_all_systems(&quick(SystemKind::Fabric, WorkloadKind::ModifiedSmallbank));
+    let effective: Vec<(SystemKind, f64)> = reports
+        .iter()
+        .map(|r| (r.system, r.effective_tps()))
+        .collect();
     let sharp = effective
         .iter()
         .find(|(s, _)| *s == SystemKind::FabricSharp)
@@ -72,13 +85,22 @@ fn figure11_shape_focc_s_collapses_under_write_hot_contention() {
 
 #[test]
 fn figure13_shape_client_delay_grows_block_span_and_hops() {
-    let no_delay = Simulator::run(&quick(SystemKind::FabricSharp, WorkloadKind::ModifiedSmallbank));
+    let no_delay = Simulator::run(&quick(
+        SystemKind::FabricSharp,
+        WorkloadKind::ModifiedSmallbank,
+    ));
     let mut delayed_cfg = quick(SystemKind::FabricSharp, WorkloadKind::ModifiedSmallbank);
     delayed_cfg.params.client_delay_ms = 400;
     let delayed = Simulator::run(&delayed_cfg);
 
-    assert!(delayed.avg_block_span > no_delay.avg_block_span, "client delay must widen the block span");
-    assert!(delayed.avg_hops >= no_delay.avg_hops, "more concurrency must not reduce graph traversal");
+    assert!(
+        delayed.avg_block_span > no_delay.avg_block_span,
+        "client delay must widen the block span"
+    );
+    assert!(
+        delayed.avg_hops >= no_delay.avg_hops,
+        "more concurrency must not reduce graph traversal"
+    );
     assert!(delayed.effective_tps() <= no_delay.effective_tps() * 1.05);
 }
 
@@ -107,7 +129,8 @@ fn figure14_shape_long_simulations_hurt_fabric_and_fabricpp_most() {
 #[test]
 fn figure15_shape_fastfabric_sharp_gains_grow_with_skew() {
     let run = |system: SystemKind, theta: f64| {
-        let mut config = SimulationConfig::fast_fabric(system, WorkloadKind::MixedSmallbank { theta });
+        let mut config =
+            SimulationConfig::fast_fabric(system, WorkloadKind::MixedSmallbank { theta });
         config.duration_s = 4.0;
         config.params.num_accounts = 2_000;
         config.params.request_rate_tps = 2_500;
@@ -121,8 +144,14 @@ fn figure15_shape_fastfabric_sharp_gains_grow_with_skew() {
     };
     let low = gain(0.0);
     let high = gain(1.0);
-    assert!(high > low, "the FastFabric# advantage must grow with skew ({low:.2} -> {high:.2})");
-    assert!(high > 1.05, "at θ=1 the advantage should be clearly visible, got {high:.2}");
+    assert!(
+        high > low,
+        "the FastFabric# advantage must grow with skew ({low:.2} -> {high:.2})"
+    );
+    assert!(
+        high > 1.05,
+        "at θ=1 the advantage should be clearly visible, got {high:.2}"
+    );
 
     // Contention-free Create-Account: the reordering overhead must be small (<10%).
     let ff_create = run(SystemKind::Fabric, 0.0);
@@ -134,5 +163,9 @@ fn figure15_shape_fastfabric_sharp_gains_grow_with_skew() {
     create_cfg.block.max_txns_per_block = 150;
     let sharp_create = Simulator::run(&create_cfg);
     assert!(sharp_create.effective_tps() > 0.9 * ff_create.effective_tps());
-    assert_eq!(sharp_create.aborted(), 0, "Create Account transactions never conflict");
+    assert_eq!(
+        sharp_create.aborted(),
+        0,
+        "Create Account transactions never conflict"
+    );
 }

@@ -3,7 +3,9 @@
 //! and Theorem 2 (unreorderable cycles are rejected before ordering, reorderable ones are not).
 
 use fabricsharp::baselines::api::{mvcc_validate_and_apply, SystemKind};
-use fabricsharp::core::theory::{figure2a_fixture, figure3a_txn1, figure3a_txn2, snapshot_consistency};
+use fabricsharp::core::theory::{
+    figure2a_fixture, figure3a_txn1, figure3a_txn2, snapshot_consistency,
+};
 use fabricsharp::prelude::*;
 
 /// Drives the Table 1 transactions through one system and returns the ids that end up
@@ -15,7 +17,10 @@ fn table1_commits(system: SystemKind) -> Vec<u64> {
         90,
         1,
         [],
-        [(Key::new("B"), Value::from_i64(201)), (Key::new("C"), Value::from_i64(201))],
+        [
+            (Key::new("B"), Value::from_i64(201)),
+            (Key::new("C"), Value::from_i64(201)),
+        ],
     );
     block2_writer.end_ts = Some(SeqNo::new(2, 1));
     cc.on_block_committed(2, &[(block2_writer, TxnStatus::Committed)]);
@@ -59,8 +64,14 @@ fn table1_fabricsharp_commits_two_serializable_transactions() {
     // many transactions as vanilla Fabric and its choice must be serializable together with
     // the block-2 writer it knows about.
     let commits = table1_commits(SystemKind::FabricSharp);
-    assert!(commits.len() >= 2, "Fabric# should save at least two of the four, got {commits:?}");
-    assert!(!commits.contains(&2), "Txn2 closes a cycle with the committed block-2 writer");
+    assert!(
+        commits.len() >= 2,
+        "Fabric# should save at least two of the four, got {commits:?}"
+    );
+    assert!(
+        !commits.contains(&2),
+        "Txn2 closes a cycle with the committed block-2 writer"
+    );
 }
 
 #[test]
@@ -82,7 +93,10 @@ fn theorem1_anti_rw_free_systems_are_strongly_serializable() {
         90,
         1,
         [],
-        [(Key::new("B"), Value::from_i64(201)), (Key::new("C"), Value::from_i64(201))],
+        [
+            (Key::new("B"), Value::from_i64(201)),
+            (Key::new("C"), Value::from_i64(201)),
+        ],
     );
     block2_writer.end_ts = Some(SeqNo::new(2, 1));
     history.push(block2_writer);
@@ -98,17 +112,51 @@ fn theorem2_unreorderable_cycle_is_rejected_but_cww_cycle_is_not() {
     // Figure 7a: a cycle made purely of read-write conflicts between pending transactions can
     // never be serialized by reordering → the closing transaction is rejected.
     let mut cc = FabricSharpCC::with_defaults();
-    let t1 = Transaction::from_parts(1, 0, [(Key::new("X"), SeqNo::new(0, 1))], [(Key::new("Y"), Value::from_i64(1))]);
-    let t2 = Transaction::from_parts(2, 0, [(Key::new("Y"), SeqNo::new(0, 2))], [(Key::new("X"), Value::from_i64(2))]);
+    let t1 = Transaction::from_parts(
+        1,
+        0,
+        [(Key::new("X"), SeqNo::new(0, 1))],
+        [(Key::new("Y"), Value::from_i64(1))],
+    );
+    let t2 = Transaction::from_parts(
+        2,
+        0,
+        [(Key::new("Y"), SeqNo::new(0, 2))],
+        [(Key::new("X"), Value::from_i64(2))],
+    );
     assert!(cc.on_arrival(t1).is_accept());
-    assert!(!cc.on_arrival(t2).is_accept(), "pure rw cycle must be rejected (Theorem 2)");
+    assert!(
+        !cc.on_arrival(t2).is_accept(),
+        "pure rw cycle must be rejected (Theorem 2)"
+    );
 
     // Figure 7b: when the cycle involves a c-ww between pending transactions, reordering can
     // flip that edge, so everything is accepted and the block commit order resolves it.
     let mut cc = FabricSharpCC::with_defaults();
-    let a = Transaction::from_parts(10, 0, [(Key::new("P"), SeqNo::new(0, 1))], [(Key::new("Q"), Value::from_i64(1))]);
-    let b = Transaction::from_parts(11, 0, [], [(Key::new("P"), Value::from_i64(2)), (Key::new("R"), Value::from_i64(2))]);
-    let c = Transaction::from_parts(12, 0, [], [(Key::new("R"), Value::from_i64(3)), (Key::new("Q"), Value::from_i64(3))]);
+    let a = Transaction::from_parts(
+        10,
+        0,
+        [(Key::new("P"), SeqNo::new(0, 1))],
+        [(Key::new("Q"), Value::from_i64(1))],
+    );
+    let b = Transaction::from_parts(
+        11,
+        0,
+        [],
+        [
+            (Key::new("P"), Value::from_i64(2)),
+            (Key::new("R"), Value::from_i64(2)),
+        ],
+    );
+    let c = Transaction::from_parts(
+        12,
+        0,
+        [],
+        [
+            (Key::new("R"), Value::from_i64(3)),
+            (Key::new("Q"), Value::from_i64(3)),
+        ],
+    );
     assert!(cc.on_arrival(a).is_accept());
     assert!(cc.on_arrival(b).is_accept());
     assert!(cc.on_arrival(c).is_accept());
@@ -118,7 +166,10 @@ fn theorem2_unreorderable_cycle_is_rejected_but_cww_cycle_is_not() {
     assert!(is_serializable(&block));
     // And the reader of P must be ordered before the pending writer of P.
     let pos = |id: u64| block.iter().position(|t| t.id.0 == id).unwrap();
-    assert!(pos(10) < pos(11), "anti-rw order must be respected by the reordering");
+    assert!(
+        pos(10) < pos(11),
+        "anti-rw order must be respected by the reordering"
+    );
 }
 
 #[test]

@@ -15,7 +15,12 @@ fn seeded_chain(kind: SystemKind, n: usize) -> (SimpleChain, Vec<Key>) {
 }
 
 /// Runs `rounds` blocks of `per_block` random transfers over a small, hot account set.
-fn run_contended_workload(kind: SystemKind, seed: u64, rounds: usize, per_block: usize) -> SimpleChain {
+fn run_contended_workload(
+    kind: SystemKind,
+    seed: u64,
+    rounds: usize,
+    per_block: usize,
+) -> SimpleChain {
     let (mut chain, keys) = seeded_chain(kind, 8);
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..rounds {
@@ -47,7 +52,10 @@ fn every_system_produces_a_serializable_history_under_contention() {
                 is_serializable(chain.committed_history()),
                 "{kind} produced a non-serializable history (seed {seed})"
             );
-            assert!(chain.ledger().verify_integrity().is_ok(), "{kind}: broken ledger");
+            assert!(
+                chain.ledger().verify_integrity().is_ok(),
+                "{kind}: broken ledger"
+            );
         }
     }
 }
@@ -55,7 +63,11 @@ fn every_system_produces_a_serializable_history_under_contention() {
 #[test]
 fn fabric_and_fabricpp_histories_are_strongly_serializable() {
     // Theorem 1: systems that forbid anti-rw commit strongly serializable schedules.
-    for kind in [SystemKind::Fabric, SystemKind::FabricPlusPlus, SystemKind::FoccL] {
+    for kind in [
+        SystemKind::Fabric,
+        SystemKind::FabricPlusPlus,
+        SystemKind::FoccL,
+    ] {
         let chain = run_contended_workload(kind, 3, 5, 10);
         assert!(
             is_strongly_serializable(chain.committed_history()),
@@ -110,7 +122,10 @@ fn balances_are_conserved_when_every_transfer_is_balanced() {
             .iter()
             .map(|k| chain.latest(k).unwrap().as_i64().unwrap())
             .sum();
-        assert_eq!(total_before, total_after, "{kind}: money was created or destroyed");
+        assert_eq!(
+            total_before, total_after,
+            "{kind}: money was created or destroyed"
+        );
     }
 }
 
@@ -121,7 +136,10 @@ fn raw_count_exceeds_committed_count_only_for_validating_systems() {
     let fabric = run_contended_workload(SystemKind::Fabric, 5, 6, 12);
     let sharp = run_contended_workload(SystemKind::FabricSharp, 5, 6, 12);
     assert!(fabric.ledger().raw_txn_count() >= fabric.ledger().committed_txn_count());
-    assert_eq!(sharp.ledger().raw_txn_count(), sharp.ledger().committed_txn_count());
+    assert_eq!(
+        sharp.ledger().raw_txn_count(),
+        sharp.ledger().committed_txn_count()
+    );
 }
 
 #[test]
@@ -132,9 +150,16 @@ fn read_only_transactions_commit_under_every_system() {
             let txn = chain.execute(|ctx| {
                 let _ = ctx.read_balance(key);
             });
-            assert!(chain.submit(txn).is_accept(), "{kind}: read-only submission rejected");
+            assert!(
+                chain.submit(txn).is_accept(),
+                "{kind}: read-only submission rejected"
+            );
         }
         let report = chain.seal_block();
-        assert_eq!(report.committed.len(), keys.len(), "{kind}: read-only txns must commit");
+        assert_eq!(
+            report.committed.len(),
+            keys.len(),
+            "{kind}: read-only txns must commit"
+        );
     }
 }

@@ -29,8 +29,16 @@ fn run_workload(kind: SystemKind, shapes: &[TxnShape], block_size: usize) -> Sim
     chain.seed(keys.iter().map(|k| (k.clone(), Value::from_i64(100))));
 
     for (i, shape) in shapes.iter().enumerate() {
-        let reads: Vec<Key> = shape.reads.iter().map(|r| keys[*r as usize].clone()).collect();
-        let writes: Vec<Key> = shape.writes.iter().map(|w| keys[*w as usize].clone()).collect();
+        let reads: Vec<Key> = shape
+            .reads
+            .iter()
+            .map(|r| keys[*r as usize].clone())
+            .collect();
+        let writes: Vec<Key> = shape
+            .writes
+            .iter()
+            .map(|w| keys[*w as usize].clone())
+            .collect();
         let txn = chain.execute(|ctx| {
             let mut acc = 0i64;
             for key in &reads {

@@ -3,7 +3,9 @@
 //! identical blocks. These tests drive independent controller replicas from a shared
 //! `ConsensusLog` and compare their outputs, and exercise the hash-commitment mitigation.
 
-use fabricsharp::consensus::adversary::{commitment_of, ClientSubmission, FrontRunningLeader, LeaderPolicy};
+use fabricsharp::consensus::adversary::{
+    commitment_of, ClientSubmission, FrontRunningLeader, LeaderPolicy,
+};
 use fabricsharp::consensus::{BlockCutter, ConsensusLog, Submission};
 use fabricsharp::prelude::*;
 use rand::rngs::StdRng;
@@ -52,7 +54,10 @@ fn replicated_fabricsharp_orderers_produce_identical_blocks() {
     }
     let (_, blocks_a) = &replicas[0];
     let (_, blocks_b) = &replicas[1];
-    assert_eq!(blocks_a, blocks_b, "replicas disagreed on block contents or order");
+    assert_eq!(
+        blocks_a, blocks_b,
+        "replicas disagreed on block contents or order"
+    );
     assert!(!blocks_a.is_empty());
 }
 
@@ -65,7 +70,10 @@ fn block_cutters_fed_from_the_same_log_cut_identical_batches() {
     }
     log.ingest();
 
-    let config = BlockConfig { max_txns_per_block: 10, block_timeout_ms: 1_000 };
+    let config = BlockConfig {
+        max_txns_per_block: 10,
+        block_timeout_ms: 1_000,
+    };
     let cut_ids = |mut cutter: BlockCutter| -> Vec<Vec<u64>> {
         let mut cursor = log.cursor();
         let mut blocks = Vec::new();
@@ -84,12 +92,17 @@ fn block_cutters_fed_from_the_same_log_cut_identical_batches() {
     let a = cut_ids(BlockCutter::new(config));
     let b = cut_ids(BlockCutter::new(config));
     assert_eq!(a, b);
-    assert_eq!(a.len(), 6, "57 transactions at 10 per block = 5 full blocks + 1 flush");
+    assert_eq!(
+        a.len(),
+        6,
+        "57 transactions at 10 per block = 5 full blocks + 1 flush"
+    );
 }
 
 #[test]
 fn simulator_runs_are_reproducible_for_identical_configurations() {
-    let mut config = SimulationConfig::new(SystemKind::FabricSharp, WorkloadKind::ModifiedSmallbank);
+    let mut config =
+        SimulationConfig::new(SystemKind::FabricSharp, WorkloadKind::ModifiedSmallbank);
     config.duration_s = 2.0;
     config.params.num_accounts = 500;
     config.params.request_rate_tps = 300;
@@ -121,7 +134,9 @@ fn front_running_leader_aborts_the_victim_but_commitments_defeat_it() {
     let mut cc = FabricSharpCC::with_defaults();
     let mut decisions = Vec::new();
     for submission in order {
-        let txn = submission.reveal().expect("plaintext submissions always reveal");
+        let txn = submission
+            .reveal()
+            .expect("plaintext submissions always reveal");
         decisions.push((txn.id.0, cc.on_arrival(txn).is_accept()));
     }
     assert_eq!(decisions.len(), 2);
@@ -139,7 +154,15 @@ fn front_running_leader_aborts_the_victim_but_commitments_defeat_it() {
     assert!(cc.on_arrival(revealed).is_accept());
 
     let mut tampered = victim.clone();
-    tampered.write_set.record(Key::new("asset"), Value::from_i64(999));
-    let bad = ClientSubmission::Committed { commitment: commitment_of(&victim), sealed: tampered };
-    assert!(bad.reveal().is_err(), "a mutated reveal must not match its commitment");
+    tampered
+        .write_set
+        .record(Key::new("asset"), Value::from_i64(999));
+    let bad = ClientSubmission::Committed {
+        commitment: commitment_of(&victim),
+        sealed: tampered,
+    };
+    assert!(
+        bad.reveal().is_err(),
+        "a mutated reveal must not match its commitment"
+    );
 }
