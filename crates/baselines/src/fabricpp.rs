@@ -22,7 +22,7 @@ use eov_common::abort::AbortReason;
 use eov_common::rwset::Key;
 use eov_common::txn::{CommitDecision, Transaction, TxnStatus};
 use eov_common::version::SeqNo;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
 /// The Fabric++ orderer-side concurrency control.
@@ -76,7 +76,12 @@ impl FabricPlusPlusCC {
         // writes a key another transaction in the block read: the reader must be ordered
         // before the writer or it becomes invalid.
         let n = candidates.len();
-        let mut edges: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+        // Deterministic (ordered) edge sets: the cycle-finding DFS below iterates these,
+        // and which cycle it reports decides the abort victim. A `HashSet` here made the
+        // victim depend on the per-instance hash seed — two identically-fed orderers could
+        // cut different blocks, violating the Section 3.5 agreement property (caught by the
+        // pipeline determinism harness).
+        let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
         for (w_idx, writer) in candidates.iter().enumerate() {
             for write in writer.write_set.iter() {
                 for (r_idx, reader) in candidates.iter().enumerate() {
@@ -147,7 +152,7 @@ impl FabricPlusPlusCC {
 /// Returns the set of alive nodes that sit on at least one cycle, or `None` if the alive
 /// sub-graph is acyclic. Uses a DFS colouring and reports the grey stack when a back edge is
 /// found.
-fn find_cycle_nodes(edges: &[HashSet<usize>], alive: &[bool]) -> Option<Vec<usize>> {
+fn find_cycle_nodes(edges: &[BTreeSet<usize>], alive: &[bool]) -> Option<Vec<usize>> {
     #[derive(Clone, Copy, PartialEq)]
     enum C {
         White,
@@ -367,6 +372,71 @@ mod tests {
         assert_eq!(block.len(), 1);
         let aborted: u64 = cc.early_aborts().iter().map(|(_, c)| c).sum();
         assert_eq!(aborted, 1);
+    }
+
+    /// Regression test: two independently constructed orderers fed the same arrival stream
+    /// must cut byte-identical blocks. With hash-seeded edge sets the cycle-breaking victim
+    /// depended on the per-instance hash seed, so replicas could disagree (a Section 3.5
+    /// agreement violation surfaced by the pipeline determinism harness).
+    #[test]
+    fn replicated_instances_break_cycles_identically() {
+        // A batch with several overlapping rw cycles so the victim choice is genuinely
+        // contested: t_i reads k_{i} and writes k_{i+1 mod 5}.
+        let batch: Vec<Transaction> = (0..5u64)
+            .map(|i| {
+                let read_key = format!("k{i}");
+                let write_key = format!("k{}", (i + 1) % 5);
+                txn(
+                    i + 1,
+                    0,
+                    &[(read_key.as_str(), (0, 1))],
+                    &[write_key.as_str()],
+                )
+            })
+            .collect();
+        let cut = |mut cc: FabricPlusPlusCC| -> Vec<u64> {
+            for t in batch.clone() {
+                assert!(cc.on_arrival(t).is_accept());
+            }
+            cc.cut_block().iter().map(|t| t.id.0).collect()
+        };
+        let reference = cut(FabricPlusPlusCC::new());
+        for _ in 0..10 {
+            assert_eq!(cut(FabricPlusPlusCC::new()), reference);
+        }
+    }
+
+    fn txn_with_key_refs(id: u64, reads: &[&str], writes: &[&str]) -> Transaction {
+        Transaction::from_parts(
+            id,
+            0,
+            reads.iter().map(|key| (k(key), SeqNo::new(0, 1))),
+            writes
+                .iter()
+                .map(|key| (k(key), Value::from_i64(id as i64))),
+        )
+    }
+
+    #[test]
+    fn replicated_instances_agree_on_dense_conflict_batches() {
+        let keys = ["A", "B", "C", "D"];
+        let batch: Vec<Transaction> = (0..8u64)
+            .map(|i| {
+                let r = keys[(i % 4) as usize];
+                let w = keys[((i + 1) % 4) as usize];
+                txn_with_key_refs(i + 1, &[r], &[w])
+            })
+            .collect();
+        let cut = |mut cc: FabricPlusPlusCC| -> Vec<u64> {
+            for t in batch.clone() {
+                let _ = cc.on_arrival(t);
+            }
+            cc.cut_block().iter().map(|t| t.id.0).collect()
+        };
+        let reference = cut(FabricPlusPlusCC::new());
+        for _ in 0..10 {
+            assert_eq!(cut(FabricPlusPlusCC::new()), reference);
+        }
     }
 
     #[test]

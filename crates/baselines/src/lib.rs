@@ -11,6 +11,8 @@
 //! * [`focc_l`] — Focc-l: sort-based greedy batch reordering at block formation.
 //! * [`sharp`] — the trait implementation for FabricSharp (`fabricsharp-core`).
 //! * [`chain`] — `SimpleChain`, a synchronous single-node EOV pipeline for examples and tests.
+//! * [`parallel`] — `ParallelChain`, the same workflow driven over the concurrent stage
+//!   executor (sharded endorsers + committer thread) with deterministic outcomes.
 
 pub mod api;
 pub mod chain;
@@ -18,11 +20,16 @@ pub mod fabric;
 pub mod fabricpp;
 pub mod focc_l;
 pub mod focc_s;
+pub mod parallel;
 pub mod sharp;
 
-pub use api::{apply_without_validation, mvcc_validate_and_apply, ConcurrencyControl, SystemKind};
+pub use api::{
+    apply_without_validation, commit_block, count_anti_rw_commits, mvcc_validate_and_apply,
+    ConcurrencyControl, SystemKind,
+};
 pub use chain::{BlockReport, SimpleChain};
 pub use fabric::FabricCC;
 pub use fabricpp::FabricPlusPlusCC;
 pub use focc_l::FoccLightCC;
 pub use focc_s::FoccSerializableCC;
+pub use parallel::ParallelChain;

@@ -96,6 +96,45 @@ fn bench_graph_ops(c: &mut Criterion) {
     group.finish();
 }
 
+/// The commit/removal hot path the pending-list index and the predecessor mirror optimise:
+/// `mark_committed` was O(pending) per call (a `Vec::retain` scan) and `remove` was O(nodes ×
+/// successor-list length) per call in the seed. Both are now O(1) / O(degree) amortised, which
+/// these benches pin down (numbers tracked in BASELINES.md).
+fn bench_commit_and_removal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_commit_path");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    for &n in &[400u64, 1600] {
+        let built = layered_graph(n, 3, CcConfig::default());
+        // Committing every node: dominated by the pending-list removal per call.
+        group.bench_with_input(BenchmarkId::new("mark_committed_all", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut g = built.clone();
+                for id in 0..n {
+                    g.mark_committed(TxnId(id), SeqNo::new(1, id as u32 + 1));
+                }
+                g.pending_len()
+            });
+        });
+        // Removing every other node one by one: dominated by the edge cleanup per call.
+        group.bench_with_input(BenchmarkId::new("remove_half", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut g = built.clone();
+                for id in (0..n).step_by(2) {
+                    g.remove(TxnId(id));
+                }
+                g.len()
+            });
+        });
+        // The baseline cost of the clone the two benches above pay per iteration.
+        group.bench_with_input(BenchmarkId::new("clone_only", n), &n, |b, _| {
+            b.iter(|| built.clone().len());
+        });
+    }
+    group.finish();
+}
+
 fn bench_pruning(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_pruning");
     group
@@ -118,5 +157,11 @@ fn bench_pruning(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bloom, bench_graph_ops, bench_pruning);
+criterion_group!(
+    benches,
+    bench_bloom,
+    bench_graph_ops,
+    bench_commit_and_removal,
+    bench_pruning
+);
 criterion_main!(benches);

@@ -73,10 +73,20 @@ impl<'a> SimulationContext<'a> {
 }
 
 /// The endorsing peer's simulation entry point.
+///
+/// Cloning is cheap (the snapshot manager is shared behind an `Arc`), and the endorser is
+/// `Send + Sync` by construction, so one logical endorser can be handed to every shard of the
+/// concurrent pipeline's [`crate::pipeline::EndorserPool`].
 #[derive(Clone, Debug)]
 pub struct SnapshotEndorser {
     snapshots: SnapshotManager,
 }
+
+/// Compile-time audit: the endorser must stay shareable across pipeline shards.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SnapshotEndorser>();
+};
 
 impl SnapshotEndorser {
     /// Creates an endorser sharing the given snapshot manager with the commit path.

@@ -12,6 +12,10 @@
 //!   restoration of the deliberately-ignored pending c-ww dependencies.
 //! * [`orderer_cc`] — [`orderer_cc::FabricSharpCC`], the controller that ties the above
 //!   together and is plugged into the ordering service (Figure 8).
+//! * [`pipeline`] — the thread-backed stage executor of the concurrent EOV pipeline: sharded
+//!   endorser workers ([`pipeline::EndorserPool`]) and the strictly ordered
+//!   validator/committer ([`pipeline::CommitWorker`]), reused by the simulator's concurrent
+//!   runner and by the `ParallelChain` facade.
 //! * [`theory`] — executable forms of the paper's definitions and the Figure 2a / Figure 3a
 //!   fixtures shared by tests, examples and the Table 1 harness.
 //! * [`serializability`] — an independent offline oracle (multi-version serialization graph)
@@ -23,6 +27,7 @@ pub mod dependency;
 pub mod endorser;
 pub mod formation;
 pub mod orderer_cc;
+pub mod pipeline;
 pub mod recovery;
 pub mod serializability;
 pub mod stats;
@@ -31,6 +36,7 @@ pub mod theory;
 pub use dependency::{resolve_dependencies, ResolvedDeps};
 pub use endorser::{SimulationContext, SnapshotEndorser, TxnEffects};
 pub use orderer_cc::FabricSharpCC;
+pub use pipeline::{CommitOutcome, CommitWorker, EndorseJob, EndorseLogic, EndorserPool};
 pub use recovery::{recover_from_ledger, RecoveryReport};
 pub use serializability::{is_serializable, is_strongly_serializable, serialization_order};
 pub use stats::CcStats;

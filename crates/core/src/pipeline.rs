@@ -1,0 +1,421 @@
+//! Stage executor for the concurrent EOV pipeline.
+//!
+//! The paper's Figure 2 pipeline — clients submit → endorsing peers simulate → ordering →
+//! block formation → validation/commit — runs each stage on its own hardware in a real
+//! deployment. This module provides the two thread-backed stages that carry actual CPU work,
+//! wired with channels so a driver (the discrete-event simulator's runner, or the synchronous
+//! `ParallelChain` facade in `eov-baselines`) can fan endorsements out and keep commits
+//! strictly ordered:
+//!
+//! * [`EndorserPool`] — `N` sharded endorser workers. Each worker owns a clone of the
+//!   [`SnapshotEndorser`] and a read handle on the [`SharedStore`]; jobs are routed to shard
+//!   `request_no % N` and results are collected *by request number*, so the driver re-imposes
+//!   a deterministic order on the nondeterministically-completing workers.
+//! * [`CommitWorker`] — the single validator/committer thread. Jobs (one per block) are
+//!   applied in submission order under the store's write lock, preserving the total commit
+//!   order the ordering service decided.
+//!
+//! Determinism argument: endorsement simulates against a *pinned block snapshot*
+//! ([`MultiVersionStore::read_at`] never sees versions newer than the pinned height), so a
+//! worker racing with the committer produces bit-identical read/write sets to an inline,
+//! single-threaded execution — the MVCC property Section 4.2 uses to discard vanilla Fabric's
+//! endorsement lock. The driver only ever consumes results at deterministic points
+//! (`collect`/`finish`), so the interleaving of worker threads is invisible to the ledger.
+
+use crate::endorser::{SimulationContext, SnapshotEndorser};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use eov_common::txn::{Transaction, TxnId, TxnStatus};
+use eov_vstore::{MultiVersionStore, SharedStore};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+/// Contract logic to run inside an endorsement simulation, shipped across threads.
+pub type EndorseLogic = Box<dyn FnOnce(&mut SimulationContext<'_>) + Send>;
+
+/// One endorsement request: simulate `logic` against the snapshot after `snapshot_block` and
+/// package the result as the transaction with id `request_no`.
+pub struct EndorseJob {
+    /// Request ordinal; doubles as the transaction id and as the shard routing key.
+    pub request_no: u64,
+    /// The pinned snapshot height to simulate against.
+    pub snapshot_block: u64,
+    /// The contract invocation.
+    pub logic: EndorseLogic,
+}
+
+/// A pool of `N` sharded endorser workers over one shared store.
+pub struct EndorserPool {
+    shards: Vec<Sender<EndorseJob>>,
+    results: Receiver<ShardMessage>,
+    /// Results that arrived ahead of the request the driver is waiting for.
+    ready: HashMap<u64, Transaction>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// What a shard reports back on the result channel.
+enum ShardMessage {
+    Done(u64, Transaction),
+    /// Sent from the shard's unwind path: a contract simulation panicked. Without this notice
+    /// a multi-shard pool would deadlock in [`EndorserPool::collect`] — the dead shard only
+    /// drops its own sender clone, so `recv` would keep waiting on the survivors forever.
+    ShardPanicked(usize),
+}
+
+/// Drop guard armed for the lifetime of a shard thread: if the thread unwinds, it poisons the
+/// result channel so the driver fails fast instead of hanging.
+struct PanicNotice {
+    shard: usize,
+    results: Sender<ShardMessage>,
+}
+
+impl Drop for PanicNotice {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let _ = self.results.send(ShardMessage::ShardPanicked(self.shard));
+        }
+    }
+}
+
+impl EndorserPool {
+    /// Spawns `shards` worker threads (at least one) sharing `store` and `endorser`.
+    pub fn spawn(shards: usize, store: SharedStore, endorser: SnapshotEndorser) -> Self {
+        let shards = shards.max(1);
+        let (result_tx, results) = unbounded();
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (job_tx, job_rx) = unbounded::<EndorseJob>();
+            let store = SharedStore::clone(&store);
+            let endorser = endorser.clone();
+            let result_tx = result_tx.clone();
+            senders.push(job_tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("endorser-shard-{shard}"))
+                    .spawn(move || {
+                        let _notice = PanicNotice {
+                            shard,
+                            results: result_tx.clone(),
+                        };
+                        while let Ok(job) = job_rx.recv() {
+                            let EndorseJob {
+                                request_no,
+                                snapshot_block,
+                                logic,
+                            } = job;
+                            let txn = {
+                                let guard = store.read();
+                                endorser.simulate_at(
+                                    &guard,
+                                    TxnId(request_no),
+                                    snapshot_block,
+                                    |ctx| logic(ctx),
+                                )
+                            };
+                            if result_tx.send(ShardMessage::Done(request_no, txn)).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawning an endorser shard"),
+            );
+        }
+        EndorserPool {
+            shards: senders,
+            results,
+            ready: HashMap::new(),
+            workers,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Routes a job to its shard (`request_no % shards`).
+    pub fn dispatch(&self, job: EndorseJob) {
+        let shard = (job.request_no % self.shards.len() as u64) as usize;
+        if self.shards[shard].send(job).is_err() {
+            unreachable!("endorser shard channel never closes while the pool lives");
+        }
+    }
+
+    /// Blocks until the result for `request_no` is available and returns it. Results for other
+    /// requests that arrive in the meantime are buffered, so collection order is entirely up
+    /// to the caller — this is the deterministic merge point of the endorsement stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any worker died (a contract simulation panicked) — the dead shard poisons
+    /// the result channel on its unwind path, so the driver fails fast even while other
+    /// shards keep their senders alive.
+    pub fn collect(&mut self, request_no: u64) -> Transaction {
+        loop {
+            if let Some(txn) = self.ready.remove(&request_no) {
+                return txn;
+            }
+            match self.results.recv() {
+                Ok(ShardMessage::Done(done, txn)) => {
+                    self.ready.insert(done, txn);
+                }
+                Ok(ShardMessage::ShardPanicked(shard)) => {
+                    panic!("endorser shard {shard} panicked while request {request_no} was pending")
+                }
+                Err(_) => panic!("endorser pool shut down before request {request_no} completed"),
+            }
+        }
+    }
+}
+
+impl Drop for EndorserPool {
+    fn drop(&mut self) {
+        // Closing the job channels lets every worker drain and exit; join to avoid leaking
+        // threads into later tests/runs.
+        self.shards.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Outcome of validating and applying one block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// Final status of every transaction, in block order.
+    pub statuses: Vec<TxnStatus>,
+    /// Transactions that committed while reading a version that was no longer the latest
+    /// (anti-rw tolerance; only meaningful for systems that skip peer validation).
+    pub anti_rw_commits: u64,
+}
+
+/// Validation/commit work for one block, run under the store's write lock.
+pub type CommitLogic = Box<dyn FnOnce(&mut MultiVersionStore) -> CommitOutcome + Send>;
+
+/// The single validator/committer stage: applies block jobs strictly in submission order.
+pub struct CommitWorker {
+    jobs: Option<Sender<(u64, CommitLogic)>>,
+    results: Receiver<(u64, CommitOutcome)>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl CommitWorker {
+    /// Spawns the committer thread over `store`.
+    pub fn spawn(store: SharedStore) -> Self {
+        let (job_tx, job_rx) = unbounded::<(u64, CommitLogic)>();
+        let (result_tx, results) = unbounded();
+        let worker = std::thread::Builder::new()
+            .name("eov-committer".into())
+            .spawn(move || {
+                while let Ok((block_no, logic)) = job_rx.recv() {
+                    let outcome = {
+                        let mut guard = store.write();
+                        logic(&mut guard)
+                    };
+                    if result_tx.send((block_no, outcome)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawning the committer");
+        CommitWorker {
+            jobs: Some(job_tx),
+            results,
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueues the commit work for `block_no`. Blocks are applied in `begin` order.
+    pub fn begin(&self, block_no: u64, logic: CommitLogic) {
+        let sender = self.jobs.as_ref().expect("commit worker not shut down");
+        if sender.send((block_no, logic)).is_err() {
+            unreachable!("committer channel never closes while the worker lives");
+        }
+    }
+
+    /// Blocks until the outcome for `block_no` is available. Must be called in the same order
+    /// as [`CommitWorker::begin`] — the committer is a strictly ordered, single-lane stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the committer died, or if outcomes are consumed out of order.
+    pub fn finish(&self, block_no: u64) -> CommitOutcome {
+        match self.results.recv() {
+            Ok((done, outcome)) => {
+                assert_eq!(
+                    done, block_no,
+                    "commit outcomes must be consumed in begin order"
+                );
+                outcome
+            }
+            Err(_) => panic!("committer shut down before block {block_no} was applied"),
+        }
+    }
+}
+
+impl Drop for CommitWorker {
+    fn drop(&mut self) {
+        self.jobs.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Compile-time audit: everything that crosses a stage boundary must be sendable.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<EndorseJob>();
+    assert_send::<CommitLogic>();
+    assert_send::<Transaction>();
+    assert_send::<EndorserPool>();
+    assert_send::<CommitWorker>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eov_common::rwset::{Key, Value};
+    use eov_vstore::{into_shared, SnapshotManager};
+
+    fn seeded() -> (SharedStore, SnapshotEndorser) {
+        let mut store = MultiVersionStore::new();
+        store.seed_genesis((0..8).map(|i| (Key::new(format!("k{i}")), Value::from_i64(100))));
+        let snapshots = SnapshotManager::new();
+        snapshots.register_block(0);
+        (into_shared(store), SnapshotEndorser::new(snapshots))
+    }
+
+    fn bump_logic(key: Key) -> EndorseLogic {
+        Box::new(move |ctx| {
+            let v = ctx.read_balance(&key);
+            ctx.write(key.clone(), Value::from_i64(v + 1));
+        })
+    }
+
+    #[test]
+    fn sharded_endorsement_matches_inline_simulation() {
+        let (store, endorser) = seeded();
+        let mut pool = EndorserPool::spawn(3, SharedStore::clone(&store), endorser.clone());
+        assert_eq!(pool.shard_count(), 3);
+        for request_no in 1..=60u64 {
+            pool.dispatch(EndorseJob {
+                request_no,
+                snapshot_block: 0,
+                logic: bump_logic(Key::new(format!("k{}", request_no % 8))),
+            });
+        }
+        // Collect in an order unrelated to completion order (descending).
+        for request_no in (1..=60u64).rev() {
+            let pooled = pool.collect(request_no);
+            let guard = store.read();
+            let inline = endorser.simulate_at(&guard, TxnId(request_no), 0, |ctx| {
+                let key = Key::new(format!("k{}", request_no % 8));
+                let v = ctx.read_balance(&key);
+                ctx.write(key.clone(), Value::from_i64(v + 1));
+            });
+            assert_eq!(pooled, inline, "request {request_no}");
+        }
+    }
+
+    #[test]
+    fn commit_worker_applies_blocks_in_begin_order() {
+        let (store, _) = seeded();
+        let committer = CommitWorker::spawn(SharedStore::clone(&store));
+        for block_no in 1..=5u64 {
+            committer.begin(
+                block_no,
+                Box::new(move |store| {
+                    // Each block rewrites k0 with its own number; order violations would leave
+                    // a non-monotonic version chain (caught by the store's ordering invariant).
+                    store.put(
+                        Key::new("k0"),
+                        eov_common::version::SeqNo::new(block_no, 1),
+                        Value::from_i64(block_no as i64),
+                    );
+                    store.commit_empty_block(block_no);
+                    CommitOutcome {
+                        statuses: vec![TxnStatus::Committed],
+                        anti_rw_commits: 0,
+                    }
+                }),
+            );
+        }
+        for block_no in 1..=5u64 {
+            let outcome = committer.finish(block_no);
+            assert_eq!(outcome.statuses, vec![TxnStatus::Committed]);
+        }
+        let guard = store.read();
+        assert_eq!(guard.last_block(), 5);
+        assert_eq!(
+            guard.latest_value(&Key::new("k0")).unwrap().as_i64(),
+            Some(5)
+        );
+    }
+
+    /// Regression test: a shard dying (panicking contract) in a *multi-shard* pool must fail
+    /// the collect fast. Before the unwind notice, only the dead shard's sender dropped, the
+    /// survivors kept the channel open, and `collect` deadlocked forever.
+    #[test]
+    #[should_panic(expected = "panicked while request 2 was pending")]
+    fn collect_panics_instead_of_deadlocking_when_a_shard_dies() {
+        let (store, endorser) = seeded();
+        let mut pool = EndorserPool::spawn(2, SharedStore::clone(&store), endorser);
+        // Request 2 routes to shard 0 and blows up; shard 1 stays healthy and idle.
+        pool.dispatch(EndorseJob {
+            request_no: 2,
+            snapshot_block: 0,
+            logic: Box::new(|_| panic!("buggy contract")),
+        });
+        let _ = pool.collect(2);
+    }
+
+    /// Endorser shards keep reading pinned snapshots while the committer appends blocks: the
+    /// snapshot results must be unaffected by the concurrent writes (the MVCC stability the
+    /// whole concurrent pipeline rests on).
+    #[test]
+    fn endorsement_is_stable_while_the_committer_races() {
+        let (store, endorser) = seeded();
+        let mut pool = EndorserPool::spawn(2, SharedStore::clone(&store), endorser);
+        let committer = CommitWorker::spawn(SharedStore::clone(&store));
+
+        // Dispatch 40 endorsements pinned at genesis, then immediately commit 10 blocks that
+        // rewrite the same keys.
+        for request_no in 1..=40u64 {
+            pool.dispatch(EndorseJob {
+                request_no,
+                snapshot_block: 0,
+                logic: bump_logic(Key::new(format!("k{}", request_no % 8))),
+            });
+        }
+        for block_no in 1..=10u64 {
+            committer.begin(
+                block_no,
+                Box::new(move |store| {
+                    for i in 0..8 {
+                        store.put(
+                            Key::new(format!("k{i}")),
+                            eov_common::version::SeqNo::new(block_no, 1),
+                            Value::from_i64(-1),
+                        );
+                    }
+                    store.commit_empty_block(block_no);
+                    CommitOutcome {
+                        statuses: vec![],
+                        anti_rw_commits: 0,
+                    }
+                }),
+            );
+        }
+        for block_no in 1..=10u64 {
+            committer.finish(block_no);
+        }
+        for request_no in 1..=40u64 {
+            let txn = pool.collect(request_no);
+            // Reads pinned at genesis must have observed the genesis value (100), never the
+            // concurrently-installed -1.
+            let write = txn.write_set.iter().next().expect("one write per txn");
+            assert_eq!(write.value.as_i64(), Some(101), "request {request_no}");
+        }
+    }
+}

@@ -62,9 +62,19 @@ impl BloomFilter {
     }
 
     /// Unions `other` into `self` (bitwise OR). Both filters must share the same geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics — in release builds too — when the geometries differ. A mismatched union would
+    /// silently zip over the shorter word vector and drop set bits, i.e. manufacture bloom
+    /// *false negatives*, which is the one failure mode the serializability guarantee cannot
+    /// tolerate (false positives merely cause preventive aborts).
     pub fn union_with(&mut self, other: &BloomFilter) {
-        debug_assert_eq!(self.num_bits, other.num_bits, "bloom geometry mismatch");
-        debug_assert_eq!(self.num_hashes, other.num_hashes, "bloom geometry mismatch");
+        assert_eq!(
+            (self.num_bits, self.num_hashes),
+            (other.num_bits, other.num_hashes),
+            "bloom geometry mismatch: unioning filters of different geometry loses set bits"
+        );
         for (w, o) in self.words.iter_mut().zip(&other.words) {
             *w |= o;
         }
@@ -237,6 +247,25 @@ mod tests {
             false_positives < 300,
             "false positive rate too high: {false_positives}/10000"
         );
+    }
+
+    /// Regression test: geometry mismatches must abort in *release* builds too. The previous
+    /// `debug_assert` compiled away under `--release`, and a mismatched union silently zipped
+    /// to the shorter word vector — dropping set bits and producing bloom false negatives.
+    #[test]
+    #[should_panic(expected = "bloom geometry mismatch")]
+    fn union_with_mismatched_bit_count_panics() {
+        let mut a = BloomFilter::new(512, 3);
+        let b = BloomFilter::new(1024, 3);
+        a.union_with(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bloom geometry mismatch")]
+    fn union_with_mismatched_hash_count_panics() {
+        let mut a = BloomFilter::new(512, 3);
+        let b = BloomFilter::new(512, 4);
+        a.union_with(&b);
     }
 
     #[test]

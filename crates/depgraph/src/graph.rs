@@ -2,7 +2,8 @@
 //!
 //! Every transaction accepted by the FabricSharp orderer becomes a node. Edges follow the
 //! *dependency order* (`from` must be serialized before `to`) and are stored as immediate
-//! successor lists (`succ`). In addition, each node carries `anti_reachable`: a set — a bloom
+//! successor lists (`succ`) mirrored by predecessor lists (`pred`) so removals touch only a
+//! node's neighbourhood. In addition, each node carries `anti_reachable`: a set — a bloom
 //! filter, optionally shadowed by an exact set for the ablation experiments — of every
 //! transaction that can reach it. Cycle detection for a new transaction then reduces to
 //! membership tests between its prospective predecessors and successors (Section 4.4), and
@@ -33,6 +34,15 @@ impl ReachSet {
         ReachSet {
             bloom: BloomFilter::new(config.bloom_bits, config.bloom_hashes),
             exact: config.track_exact_reachability.then(HashSet::new),
+        }
+    }
+
+    /// A minimal throwaway set used to temporarily displace a stored set while it is borrowed
+    /// as a union source (see [`DependencyGraph::insert_pending`]); never unioned or queried.
+    fn placeholder() -> Self {
+        ReachSet {
+            bloom: BloomFilter::new(64, 1),
+            exact: None,
         }
     }
 
@@ -80,6 +90,9 @@ pub struct TxnNode {
     pub end_ts: Option<SeqNo>,
     /// Immediate successors in dependency order.
     pub succ: Vec<TxnId>,
+    /// Immediate predecessors — the mirror of `succ`, maintained so removing a node only has
+    /// to visit its neighbours instead of scanning every successor list in the graph.
+    pub pred: Vec<TxnId>,
     /// Every transaction that can reach this node (bloom-filter representation).
     pub anti_reachable: ReachSet,
     /// Age (Section 4.6): the highest block number such that a transaction destined for that
@@ -143,12 +156,78 @@ pub struct InsertReport {
     pub hops: usize,
 }
 
+/// The pending transactions in arrival order (the set `P` of Algorithms 2 and 3).
+///
+/// An order-preserving index: arrival order is kept in a slot vector whose entries are
+/// tombstoned on removal (`mark_committed` / `remove` are O(1) amortised instead of the
+/// `Vec::retain` O(n) scan per commit the seed shipped with), while a hash index maps each id
+/// to its slot. The slot vector is compacted once more than half of it is tombstones, so
+/// iteration stays O(live) amortised.
+#[derive(Clone, Debug, Default)]
+struct PendingList {
+    slots: Vec<Option<TxnId>>,
+    index: HashMap<u64, usize>,
+    live: usize,
+}
+
+impl PendingList {
+    /// Appends `id` at the end of the arrival order. Ignores ids already present.
+    fn push(&mut self, id: TxnId) {
+        if self.index.contains_key(&id.0) {
+            return;
+        }
+        self.index.insert(id.0, self.slots.len());
+        self.slots.push(Some(id));
+        self.live += 1;
+    }
+
+    /// Removes `id`, preserving the relative order of everything else. Returns whether the id
+    /// was present.
+    fn remove(&mut self, id: TxnId) -> bool {
+        let Some(slot) = self.index.remove(&id.0) else {
+            return false;
+        };
+        self.slots[slot] = None;
+        self.live -= 1;
+        self.maybe_compact();
+        true
+    }
+
+    /// Removes every id in `ids`, preserving the relative order of the survivors.
+    fn remove_all(&mut self, ids: &HashSet<u64>) {
+        for id in ids {
+            if let Some(slot) = self.index.remove(id) {
+                self.slots[slot] = None;
+                self.live -= 1;
+            }
+        }
+        self.maybe_compact();
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.slots.len() > 32 && self.live * 2 < self.slots.len() {
+            self.slots.retain(Option::is_some);
+            for (slot, id) in self.slots.iter().enumerate() {
+                let id = id.expect("tombstones were just dropped");
+                self.index.insert(id.0, slot);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn iter(&self) -> impl Iterator<Item = TxnId> + '_ {
+        self.slots.iter().filter_map(|slot| *slot)
+    }
+}
+
 /// The transaction dependency graph `G` with nodes `U` and successor edges `V`.
 #[derive(Clone, Debug)]
 pub struct DependencyGraph {
     nodes: HashMap<u64, TxnNode>,
-    /// Pending transactions in arrival order (the set `P` of Algorithms 2 and 3).
-    pending: Vec<TxnId>,
+    pending: PendingList,
     config: CcConfig,
 }
 
@@ -157,7 +236,7 @@ impl DependencyGraph {
     pub fn new(config: CcConfig) -> Self {
         DependencyGraph {
             nodes: HashMap::new(),
-            pending: Vec::new(),
+            pending: PendingList::default(),
             config,
         }
     }
@@ -188,8 +267,8 @@ impl DependencyGraph {
     }
 
     /// The pending transactions in arrival order.
-    pub fn pending_ids(&self) -> &[TxnId] {
-        &self.pending
+    pub fn pending_ids(&self) -> Vec<TxnId> {
+        self.pending.iter().collect()
     }
 
     /// Number of pending transactions.
@@ -251,6 +330,11 @@ impl DependencyGraph {
     /// Predecessor / successor ids that are no longer tracked (already pruned) are ignored —
     /// their edges can no longer participate in any cycle involving future transactions, which
     /// is exactly why pruning was safe.
+    ///
+    /// The downstream delta (the new node's reachability plus the new node itself) is borrowed
+    /// from the stored node for the duration of the walk instead of being cloned per insertion
+    /// — the per-insert `ReachSet` clone was the dominant arrival-path cost at production
+    /// bloom sizes.
     pub fn insert_pending(
         &mut self,
         spec: PendingTxnSpec,
@@ -258,11 +342,13 @@ impl DependencyGraph {
         succs: &[TxnId],
         next_block: u64,
     ) -> InsertReport {
+        let id = spec.id;
         let mut node = TxnNode {
-            id: spec.id,
+            id,
             start_ts: spec.start_ts,
             end_ts: None,
             succ: Vec::new(),
+            pred: Vec::new(),
             anti_reachable: ReachSet::new(&self.config),
             age: next_block,
             read_keys: spec.read_keys,
@@ -271,44 +357,50 @@ impl DependencyGraph {
 
         // Wire predecessors: p.succ ∪= {txn}; txn.anti_reachable ∪= {p} ∪ p.anti_reachable.
         for &p in preds {
-            if p == spec.id {
+            if p == id {
                 continue;
             }
             let Some(p_node) = self.nodes.get_mut(&p.0) else {
                 continue;
             };
-            if !p_node.succ.contains(&spec.id) {
-                p_node.succ.push(spec.id);
+            if !p_node.succ.contains(&id) {
+                p_node.succ.push(id);
+                node.pred.push(p);
             }
             node.anti_reachable.insert(p);
             // Split borrow: clone nothing — union from an immutable re-borrow after the push.
             let p_reach = &self.nodes[&p.0].anti_reachable;
             // The borrow above is fine because `node` is a local, not part of the map yet.
-            nodewise_union(&mut node.anti_reachable, p_reach);
+            node.anti_reachable.union_with(p_reach);
         }
 
-        // Wire successors: txn.succ ∪= succs (deduplicated, existing nodes only).
+        // Wire successors: txn.succ ∪= succs (deduplicated, existing nodes only), mirroring
+        // each edge in the successor's predecessor list.
         for &s in succs {
-            if s == spec.id {
+            if s == id || node.succ.contains(&s) {
                 continue;
             }
-            if self.nodes.contains_key(&s.0) && !node.succ.contains(&s) {
+            if let Some(s_node) = self.nodes.get_mut(&s.0) {
                 node.succ.push(s);
+                s_node.pred.push(id);
             }
         }
 
-        // What must be pushed downstream: everything that can reach the new transaction,
-        // including the new transaction itself.
-        let mut delta = node.anti_reachable.clone();
-        delta.insert(spec.id);
         let succ_roots = node.succ.clone();
+        self.nodes.insert(id.0, node);
+        self.pending.push(id);
 
-        self.nodes.insert(spec.id.0, node);
-        self.pending.push(spec.id);
-
-        // Propagate to every node reachable from the successors (Algorithm 4 lines 5–7).
+        // Propagate to every node reachable from the successors (Algorithm 4 lines 5–7): each
+        // visited node learns the new transaction's reachability plus the new transaction
+        // itself. The delta is moved out of the stored node (the graph is acyclic, so the new
+        // node can never appear in its own downstream) and moved back after the walk.
+        let delta = {
+            let n = self.nodes.get_mut(&id.0).expect("inserted above");
+            std::mem::replace(&mut n.anti_reachable, ReachSet::placeholder())
+        };
         let mut hops = 0usize;
         let mut visited: HashSet<u64> = HashSet::new();
+        visited.insert(id.0);
         let mut stack: Vec<TxnId> = succ_roots;
         while let Some(current) = stack.pop() {
             if !visited.insert(current.0) {
@@ -318,10 +410,15 @@ impl DependencyGraph {
                 continue;
             };
             hops += 1;
-            nodewise_union(&mut n.anti_reachable, &delta);
+            n.anti_reachable.union_with(&delta);
+            n.anti_reachable.insert(id);
             n.age = n.age.max(next_block);
             stack.extend(n.succ.iter().copied());
         }
+        self.nodes
+            .get_mut(&id.0)
+            .expect("inserted above")
+            .anti_reachable = delta;
 
         InsertReport { hops }
     }
@@ -333,14 +430,16 @@ impl DependencyGraph {
         if from == to || !self.nodes.contains_key(&from.0) || !self.nodes.contains_key(&to.0) {
             return;
         }
-        let mut delta = self.nodes[&from.0].anti_reachable.clone();
-        delta.insert(from);
         let from_node = self.nodes.get_mut(&from.0).expect("checked above");
         if !from_node.succ.contains(&to) {
             from_node.succ.push(to);
+            self.nodes
+                .get_mut(&to.0)
+                .expect("checked above")
+                .pred
+                .push(from);
         }
-        let to_node = self.nodes.get_mut(&to.0).expect("checked above");
-        nodewise_union(&mut to_node.anti_reachable, &delta);
+        self.union_through(from, to);
     }
 
     /// Unions the reachability of `source` (plus `source` itself) into `target` without adding
@@ -352,10 +451,26 @@ impl DependencyGraph {
         {
             return;
         }
-        let mut delta = self.nodes[&source.0].anti_reachable.clone();
-        delta.insert(source);
-        let target_node = self.nodes.get_mut(&target.0).expect("checked above");
-        nodewise_union(&mut target_node.anti_reachable, &delta);
+        self.union_through(source, target);
+    }
+
+    /// `target.anti_reachable ∪= source.anti_reachable ∪ {source}` without cloning: the source
+    /// set is moved out for the duration of the union and moved back. Callers guarantee
+    /// `source != target` and that both nodes exist.
+    fn union_through(&mut self, source: TxnId, target: TxnId) {
+        let delta = {
+            let s = self.nodes.get_mut(&source.0).expect("caller checked");
+            std::mem::replace(&mut s.anti_reachable, ReachSet::placeholder())
+        };
+        {
+            let t = self.nodes.get_mut(&target.0).expect("caller checked");
+            t.anti_reachable.union_with(&delta);
+            t.anti_reachable.insert(source);
+        }
+        self.nodes
+            .get_mut(&source.0)
+            .expect("caller checked")
+            .anti_reachable = delta;
     }
 
     /// Whether the pending pair `(earlier, later)` is already connected in the reachability
@@ -374,16 +489,26 @@ impl DependencyGraph {
         if let Some(node) = self.nodes.get_mut(&id.0) {
             node.end_ts = Some(end_ts);
         }
-        self.pending.retain(|t| *t != id);
+        self.pending.remove(id);
     }
 
     /// Removes a pending transaction entirely (used by adversarial tests and by callers that
-    /// drop a transaction after accepting it). Successor references to it are cleaned up.
+    /// drop a transaction after accepting it). Only the removed node's neighbours are visited
+    /// — the predecessor lists make the cleanup O(degree) instead of a full graph scan.
     pub fn remove(&mut self, id: TxnId) {
-        self.nodes.remove(&id.0);
-        self.pending.retain(|t| *t != id);
-        for node in self.nodes.values_mut() {
-            node.succ.retain(|s| *s != id);
+        self.pending.remove(id);
+        let Some(node) = self.nodes.remove(&id.0) else {
+            return;
+        };
+        for p in node.pred {
+            if let Some(p_node) = self.nodes.get_mut(&p.0) {
+                p_node.succ.retain(|s| *s != id);
+            }
+        }
+        for s in node.succ {
+            if let Some(s_node) = self.nodes.get_mut(&s.0) {
+                s_node.pred.retain(|p| *p != id);
+            }
         }
     }
 
@@ -417,23 +542,34 @@ impl DependencyGraph {
         self.nodes.get_mut(&id.0)
     }
 
-    /// Internal: removes a set of node ids and cleans dangling successor references.
+    /// Internal: removes a set of node ids and cleans dangling edge references. Cleanup only
+    /// visits the neighbours of removed nodes (via the predecessor mirror), so bulk pruning is
+    /// O(removed × degree) instead of O(survivors × successor-list length).
     pub(crate) fn remove_many(&mut self, ids: &HashSet<u64>) {
         if ids.is_empty() {
             return;
         }
-        self.nodes.retain(|id, _| !ids.contains(id));
-        self.pending.retain(|t| !ids.contains(&t.0));
-        for node in self.nodes.values_mut() {
-            node.succ.retain(|s| !ids.contains(&s.0));
+        self.pending.remove_all(ids);
+        for id in ids {
+            let Some(node) = self.nodes.remove(id) else {
+                continue;
+            };
+            for p in node.pred {
+                if !ids.contains(&p.0) {
+                    if let Some(p_node) = self.nodes.get_mut(&p.0) {
+                        p_node.succ.retain(|s| s.0 != *id);
+                    }
+                }
+            }
+            for s in node.succ {
+                if !ids.contains(&s.0) {
+                    if let Some(s_node) = self.nodes.get_mut(&s.0) {
+                        s_node.pred.retain(|p| p.0 != *id);
+                    }
+                }
+            }
         }
     }
-}
-
-/// Free-function union helper: unions `source` into `target`. Lives outside the impl so the
-/// borrow checker sees it cannot touch the rest of the graph.
-fn nodewise_union(target: &mut ReachSet, source: &ReachSet) {
-    target.union_with(source);
 }
 
 #[cfg(test)]
@@ -456,6 +592,31 @@ mod tests {
         }
     }
 
+    /// Checks the succ/pred mirror invariant: every edge appears in exactly both lists and
+    /// never dangles.
+    fn assert_edge_mirror(g: &DependencyGraph) {
+        for node in g.nodes() {
+            for s in &node.succ {
+                let s_node = g.node(*s).expect("dangling successor");
+                assert!(
+                    s_node.pred.contains(&node.id),
+                    "edge {:?} → {:?} missing from pred mirror",
+                    node.id,
+                    s
+                );
+            }
+            for p in &node.pred {
+                let p_node = g.node(*p).expect("dangling predecessor");
+                assert!(
+                    p_node.succ.contains(&node.id),
+                    "edge {:?} → {:?} missing from succ list",
+                    p,
+                    node.id
+                );
+            }
+        }
+    }
+
     #[test]
     fn insert_wires_predecessors_and_successors() {
         let mut g = DependencyGraph::new(cfg_exact());
@@ -464,10 +625,12 @@ mod tests {
 
         assert_eq!(g.len(), 2);
         assert_eq!(g.node(TxnId(1)).unwrap().succ, vec![TxnId(2)]);
+        assert_eq!(g.node(TxnId(2)).unwrap().pred, vec![TxnId(1)]);
         assert!(g.node(TxnId(2)).unwrap().anti_reachable.contains(TxnId(1)));
         assert!(g.reaches_exact(TxnId(1), TxnId(2)));
         assert!(!g.reaches_exact(TxnId(2), TxnId(1)));
-        assert_eq!(g.pending_ids(), &[TxnId(1), TxnId(2)]);
+        assert_eq!(g.pending_ids(), vec![TxnId(1), TxnId(2)]);
+        assert_edge_mirror(&g);
     }
 
     #[test]
@@ -499,6 +662,41 @@ mod tests {
         assert!(g.node(TxnId(10)).unwrap().anti_reachable.contains(TxnId(5)));
         assert!(g.node(TxnId(11)).unwrap().anti_reachable.contains(TxnId(5)));
         assert!(g.reaches_exact(TxnId(5), TxnId(11)));
+        assert_edge_mirror(&g);
+    }
+
+    /// Regression test for the delta borrow dance: after the downstream walk, the new node
+    /// must still own its full reachability set (its predecessors and their reachability) —
+    /// taking the set for the walk and failing to restore it would silently disable future
+    /// cycle detection through the new node.
+    #[test]
+    fn insert_restores_the_new_nodes_reach_set_after_propagation() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        g.insert_pending(spec(1, 0), &[], &[], 1);
+        g.insert_pending(spec(2, 0), &[TxnId(1)], &[], 1);
+        g.insert_pending(spec(7, 0), &[], &[], 1);
+        g.insert_pending(spec(8, 0), &[TxnId(7)], &[], 1);
+        // New node 5: preds {2}, succs {7} — its stored set must contain 1 and 2 after the
+        // downstream walk through 7 and 8.
+        g.insert_pending(spec(5, 0), &[TxnId(2)], &[TxnId(7)], 1);
+        let n5 = g.node(TxnId(5)).unwrap();
+        assert!(n5.anti_reachable.contains(TxnId(1)));
+        assert!(n5.anti_reachable.contains(TxnId(2)));
+        assert_eq!(n5.anti_reachable.contains_exact(TxnId(1)), Some(true));
+        // ...and must NOT contain itself or its downstream.
+        assert_eq!(n5.anti_reachable.contains_exact(TxnId(5)), Some(false));
+        assert_eq!(n5.anti_reachable.contains_exact(TxnId(7)), Some(false));
+        // Downstream nodes learned the full delta: {1, 2, 5}.
+        for downstream in [TxnId(7), TxnId(8)] {
+            let n = g.node(downstream).unwrap();
+            for member in [TxnId(1), TxnId(2), TxnId(5)] {
+                assert_eq!(
+                    n.anti_reachable.contains_exact(member),
+                    Some(true),
+                    "{downstream:?} must know {member:?} reaches it"
+                );
+            }
+        }
     }
 
     #[test]
@@ -541,6 +739,7 @@ mod tests {
         let report = g.insert_pending(spec(2, 0), &[TxnId(77)], &[TxnId(88)], 1);
         assert_eq!(report.hops, 0);
         assert!(g.node(TxnId(2)).unwrap().succ.is_empty());
+        assert!(g.node(TxnId(2)).unwrap().pred.is_empty());
     }
 
     #[test]
@@ -566,6 +765,66 @@ mod tests {
     }
 
     #[test]
+    fn remove_cleans_predecessor_references_too() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        g.insert_pending(spec(1, 0), &[], &[], 1);
+        g.insert_pending(spec(2, 0), &[TxnId(1)], &[], 1);
+        g.insert_pending(spec(3, 0), &[TxnId(2)], &[], 1);
+        g.remove(TxnId(2));
+        assert!(g.node(TxnId(1)).unwrap().succ.is_empty());
+        assert!(g.node(TxnId(3)).unwrap().pred.is_empty());
+        assert_edge_mirror(&g);
+    }
+
+    #[test]
+    fn remove_many_only_touches_neighbours_and_keeps_the_mirror_consistent() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        // Chain 1 → 2 → 3 → 4 plus a cross edge 1 → 4.
+        g.insert_pending(spec(1, 0), &[], &[], 1);
+        g.insert_pending(spec(2, 0), &[TxnId(1)], &[], 1);
+        g.insert_pending(spec(3, 0), &[TxnId(2)], &[], 1);
+        g.insert_pending(spec(4, 0), &[TxnId(3), TxnId(1)], &[], 1);
+        let victims: HashSet<u64> = [2u64, 3].into_iter().collect();
+        g.remove_many(&victims);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.node(TxnId(1)).unwrap().succ, vec![TxnId(4)]);
+        assert_eq!(g.node(TxnId(4)).unwrap().pred, vec![TxnId(1)]);
+        assert_eq!(g.pending_ids(), vec![TxnId(1), TxnId(4)]);
+        assert_edge_mirror(&g);
+    }
+
+    /// Regression test for the pending-list index: removals (commits) must preserve arrival
+    /// order for the survivors, across enough churn to trigger slot compaction several times.
+    #[test]
+    fn pending_order_survives_heavy_commit_churn() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        for id in 0..200u64 {
+            g.insert_pending(spec(id, 0), &[], &[], 1);
+        }
+        // Commit every even id (forces compaction: >50% tombstones).
+        for id in (0..200u64).step_by(2) {
+            g.mark_committed(TxnId(id), SeqNo::new(1, 1));
+        }
+        let expected: Vec<TxnId> = (0..200u64).filter(|id| id % 2 == 1).map(TxnId).collect();
+        assert_eq!(g.pending_ids(), expected);
+        assert_eq!(g.pending_len(), 100);
+
+        // New arrivals land at the end of the order.
+        g.insert_pending(spec(500, 0), &[], &[], 2);
+        let ids = g.pending_ids();
+        assert_eq!(*ids.last().unwrap(), TxnId(500));
+        assert_eq!(ids.len(), 101);
+
+        // Commit everything; pending drains to empty and re-fills cleanly.
+        for id in ids {
+            g.mark_committed(id, SeqNo::new(2, 1));
+        }
+        assert_eq!(g.pending_len(), 0);
+        g.insert_pending(spec(900, 0), &[], &[], 3);
+        assert_eq!(g.pending_ids(), vec![TxnId(900)]);
+    }
+
+    #[test]
     fn add_edge_with_union_and_already_connected() {
         let mut g = DependencyGraph::new(cfg_exact());
         g.insert_pending(spec(1, 0), &[], &[], 1);
@@ -574,10 +833,30 @@ mod tests {
         g.add_edge_with_union(TxnId(1), TxnId(2));
         assert!(g.already_connected(TxnId(1), TxnId(2)));
         assert!(g.reaches_exact(TxnId(1), TxnId(2)));
+        assert_eq!(g.node(TxnId(2)).unwrap().pred, vec![TxnId(1)]);
+        // Re-adding the same edge does not duplicate the mirror entry.
+        g.add_edge_with_union(TxnId(1), TxnId(2));
+        assert_eq!(g.node(TxnId(2)).unwrap().pred, vec![TxnId(1)]);
         // Self edges and unknown nodes are no-ops.
         g.add_edge_with_union(TxnId(1), TxnId(1));
         g.add_edge_with_union(TxnId(9), TxnId(1));
         assert_eq!(g.len(), 2);
+        assert_edge_mirror(&g);
+    }
+
+    #[test]
+    fn propagate_reachability_keeps_the_source_set_intact() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        g.insert_pending(spec(1, 0), &[], &[], 1);
+        g.insert_pending(spec(2, 0), &[TxnId(1)], &[], 1);
+        g.insert_pending(spec(3, 0), &[], &[], 1);
+        g.propagate_reachability(TxnId(2), TxnId(3));
+        // Target learned {1, 2}; source still knows {1}.
+        let n3 = g.node(TxnId(3)).unwrap();
+        assert_eq!(n3.anti_reachable.contains_exact(TxnId(1)), Some(true));
+        assert_eq!(n3.anti_reachable.contains_exact(TxnId(2)), Some(true));
+        let n2 = g.node(TxnId(2)).unwrap();
+        assert_eq!(n2.anti_reachable.contains_exact(TxnId(1)), Some(true));
     }
 
     #[test]

@@ -21,7 +21,7 @@ impl DependencyGraph {
     /// remaining transactions are appended in arrival order so the orderer still makes
     /// progress deterministically.
     pub fn topo_sort_pending(&self) -> Vec<TxnId> {
-        let pending = self.pending_ids().to_vec();
+        let pending = self.pending_ids();
         if pending.len() <= 1 {
             return pending;
         }

@@ -1,21 +1,44 @@
 //! Offline shim for the subset of `crossbeam` used by this workspace:
 //! `channel::{unbounded, Sender, Receiver}`. Like the upstream crate (and
 //! unlike `std::sync::mpsc`), both endpoints are `Clone + Send + Sync`, which
-//! the consensus log relies on to hand producer handles to orderer threads.
+//! the consensus log relies on to hand producer handles to orderer threads and
+//! the pipeline stage executor relies on for its sharded worker pools.
+//!
+//! [`Receiver::recv`] blocks (condvar, no spinning) until a message arrives or
+//! every sender has been dropped, which is what lets pipeline workers park
+//! between jobs and shut down cleanly when the driver drops its job senders.
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::{Arc, Mutex};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        items: VecDeque<T>,
+        /// Live [`Sender`] handles; when this reaches zero the channel is disconnected and
+        /// blocked receivers wake up with [`RecvError`].
+        senders: usize,
+    }
 
     struct Queue<T> {
-        items: Mutex<VecDeque<T>>,
+        state: Mutex<State<T>>,
+        available: Condvar,
+    }
+
+    impl<T> Queue<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
     }
 
     /// Creates an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let queue = Arc::new(Queue {
-            items: Mutex::new(VecDeque::new()),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+            }),
+            available: Condvar::new(),
         });
         (
             Sender {
@@ -33,19 +56,28 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Enqueues a message. Never fails: the queue lives as long as any endpoint.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.queue
-                .items
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push_back(value);
+            self.queue.lock().items.push_back(value);
+            self.queue.available.notify_one();
             Ok(())
         }
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
+            self.queue.lock().senders += 1;
             Sender {
                 queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.queue.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.queue.available.notify_all();
             }
         }
     }
@@ -62,23 +94,38 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
-        /// Dequeues the oldest message, or reports the channel empty.
+        /// Dequeues the oldest message, or reports the channel empty / disconnected.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.queue
-                .items
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .pop_front()
-                .ok_or(TryRecvError::Empty)
+            let mut state = self.queue.lock();
+            match state.items.pop_front() {
+                Some(value) => Ok(value),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocks until a message is available and dequeues it. Returns [`RecvError`] once the
+        /// channel is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.queue.lock();
+            loop {
+                if let Some(value) = state.items.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .queue
+                    .available
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
         }
 
         /// Number of messages currently queued.
         pub fn len(&self) -> usize {
-            self.queue
-                .items
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .len()
+            self.queue.lock().items.len()
         }
 
         /// Whether the queue is currently empty.
@@ -105,19 +152,23 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error type for [`Receiver::recv`]: every sender was dropped and the queue is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
     /// Error type for [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum TryRecvError {
         /// No message was queued at the time of the call.
         Empty,
-        /// All senders dropped (not tracked by this shim; kept for API parity).
+        /// All senders dropped and the queue is drained.
         Disconnected,
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{unbounded, TryRecvError};
+    use super::channel::{unbounded, RecvError, TryRecvError};
 
     #[test]
     fn fifo_order_across_cloned_senders() {
@@ -153,5 +204,46 @@ mod tests {
             received += 1;
         }
         assert_eq!(received, 400);
+    }
+
+    #[test]
+    fn recv_blocks_until_a_message_arrives() {
+        let (tx, rx) = unbounded();
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            tx.send(7u64).unwrap();
+        });
+        // The consumer parks until the producer wakes it.
+        assert_eq!(rx.recv(), Ok(7));
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn recv_reports_disconnect_after_queue_drains() {
+        let (tx, rx) = unbounded();
+        tx.send(1u64).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn cloned_senders_keep_the_channel_connected() {
+        let (tx, rx) = unbounded::<u64>();
+        let tx2 = tx.clone();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn blocked_receivers_wake_on_disconnect() {
+        let (tx, rx) = unbounded::<u64>();
+        let consumer = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(consumer.join().unwrap(), Err(RecvError));
     }
 }

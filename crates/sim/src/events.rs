@@ -25,10 +25,12 @@ pub enum Event {
         /// Sequence number of the request (doubles as the transaction id).
         request_no: u64,
     },
-    /// An endorsement finished simulating; the transaction is ready to be broadcast.
+    /// An endorsement finishes simulating at this simulated time; the driver collects the
+    /// result from the endorsement stage (which may have computed it on a sharded worker) and
+    /// broadcasts it.
     EndorseDone {
-        /// The endorsed transaction (read/write sets filled in).
-        txn: Transaction,
+        /// The request whose endorsement completes (doubles as the transaction id).
+        request_no: u64,
         /// When the client originally submitted the request.
         submitted_at: SimTime,
     },
@@ -56,6 +58,8 @@ pub enum Event {
     },
     /// The validator finished processing a delivered block; its effects are applied.
     BlockValidated {
+        /// Ledger height this block commits at (assigned in delivery order).
+        block_no: u64,
         /// The block's transactions in final commit order.
         txns: Vec<Transaction>,
         /// Submission times of those transactions, same order.

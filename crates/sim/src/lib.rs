@@ -15,6 +15,7 @@
 
 pub mod events;
 pub mod metrics;
+mod pipeline;
 pub mod profiles;
 pub mod runner;
 

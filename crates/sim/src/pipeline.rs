@@ -1,0 +1,147 @@
+//! Stage backends wiring the discrete-event runner to the concurrent pipeline.
+//!
+//! The runner's event loop is the *driver*: it owns simulated time, the workload generator and
+//! the concurrency control, and it decides — deterministically — when each endorsement result
+//! enters the ordering service and when each block commits. The actual CPU work of the two
+//! heavy stages is delegated to a backend chosen by
+//! [`crate::runner::SimulationConfig::endorser_shards`]:
+//!
+//! * **Inline** (`endorser_shards == 0`) — the reference single-threaded mode: endorsement
+//!   simulates at dispatch time and validation/commit runs at the event that consumes it, all
+//!   on the driver thread.
+//! * **Concurrent** (`endorser_shards >= 1`) — endorsement jobs fan out to the sharded
+//!   [`EndorserPool`] and block commits run on the [`CommitWorker`] thread, overlapping with
+//!   the driver's event processing.
+//!
+//! Both modes produce identical ledgers for the same seed: endorsements simulate against
+//! pinned block snapshots (stable under concurrent commits, Section 4.2), results are consumed
+//! at fixed points of the deterministic event order, and commits are strictly serialized. The
+//! `pipeline_determinism` integration tests assert this block for block.
+
+use eov_baselines::api::commit_block;
+use eov_common::txn::Transaction;
+use eov_vstore::SharedStore;
+use fabricsharp_core::endorser::SnapshotEndorser;
+use fabricsharp_core::pipeline::{
+    CommitOutcome, CommitWorker, EndorseJob, EndorseLogic, EndorserPool,
+};
+use std::collections::HashMap;
+
+/// The endorsement stage: inline simulation or a sharded worker pool.
+pub(crate) enum EndorseStage {
+    /// Single-threaded reference mode: simulate at dispatch time on the driver thread.
+    Inline {
+        endorser: SnapshotEndorser,
+        store: SharedStore,
+        ready: HashMap<u64, Transaction>,
+    },
+    /// Concurrent mode: jobs are routed to `request_no % shards` workers.
+    Sharded(EndorserPool),
+}
+
+impl EndorseStage {
+    /// Builds the stage for the configured shard count (0 = inline).
+    pub fn new(shards: usize, store: SharedStore, endorser: SnapshotEndorser) -> Self {
+        if shards == 0 {
+            EndorseStage::Inline {
+                endorser,
+                store,
+                ready: HashMap::new(),
+            }
+        } else {
+            EndorseStage::Sharded(EndorserPool::spawn(shards, store, endorser))
+        }
+    }
+
+    /// Starts the endorsement for `request_no` against the snapshot after `snapshot_block`.
+    pub fn dispatch(&mut self, request_no: u64, snapshot_block: u64, logic: EndorseLogic) {
+        match self {
+            EndorseStage::Inline {
+                endorser,
+                store,
+                ready,
+            } => {
+                let txn = {
+                    let guard = store.read();
+                    endorser.simulate_at(
+                        &guard,
+                        eov_common::txn::TxnId(request_no),
+                        snapshot_block,
+                        |ctx| logic(ctx),
+                    )
+                };
+                ready.insert(request_no, txn);
+            }
+            EndorseStage::Sharded(pool) => pool.dispatch(EndorseJob {
+                request_no,
+                snapshot_block,
+                logic,
+            }),
+        }
+    }
+
+    /// Returns the endorsed transaction for `request_no`, blocking on the pool if its shard
+    /// has not finished yet. This is the deterministic merge point: the driver calls it in
+    /// simulated-time order, never in worker completion order.
+    pub fn collect(&mut self, request_no: u64) -> Transaction {
+        match self {
+            EndorseStage::Inline { ready, .. } => ready
+                .remove(&request_no)
+                .expect("inline endorsement was dispatched before its EndorseDone event"),
+            EndorseStage::Sharded(pool) => pool.collect(request_no),
+        }
+    }
+}
+
+/// The validator/committer stage: inline or on the dedicated committer thread.
+pub(crate) enum CommitStage {
+    Inline { store: SharedStore },
+    Threaded(CommitWorker),
+}
+
+impl CommitStage {
+    /// Builds the stage; `threaded` follows the endorser-shard knob (a concurrent pipeline
+    /// gets the committer thread, the reference mode stays inline).
+    pub fn new(threaded: bool, store: SharedStore) -> Self {
+        if threaded {
+            CommitStage::Threaded(CommitWorker::spawn(store))
+        } else {
+            CommitStage::Inline { store }
+        }
+    }
+
+    /// Starts validating/applying `block_no`. In threaded mode the committer works ahead under
+    /// the store's write lock while the driver keeps processing events; snapshot reads pinned
+    /// at logically-earlier heights are unaffected (MVCC stability).
+    pub fn begin(&mut self, block_no: u64, txns: &[Transaction], needs_validation: bool) {
+        match self {
+            // Inline mode runs the work lazily in `finish` — the driver consumes it at the
+            // BlockValidated event, which models the same validator service time either way.
+            CommitStage::Inline { .. } => {}
+            CommitStage::Threaded(worker) => {
+                let txns = txns.to_vec();
+                worker.begin(
+                    block_no,
+                    Box::new(move |store| commit_block(store, block_no, &txns, needs_validation)),
+                );
+            }
+        }
+    }
+
+    /// Returns the commit outcome for `block_no`, applying it inline if this stage has no
+    /// worker thread. Must be consumed in block order.
+    pub fn finish(
+        &mut self,
+        block_no: u64,
+        txns: &[Transaction],
+        needs_validation: bool,
+    ) -> CommitOutcome {
+        match self {
+            CommitStage::Inline { store } => {
+                let mut guard = store.write();
+                commit_block(&mut guard, block_no, txns, needs_validation)
+            }
+            CommitStage::Threaded(worker) => worker.finish(block_no),
+        }
+    }
+}

@@ -14,19 +14,28 @@
 //! single validator, which is the pipeline's bottleneck → validation applies the MVCC check
 //! (except under FabricSharp) and commits the writes, advancing the chain that subsequent
 //! endorsements read from.
+//!
+//! The *execution* of the two heavy stages is pluggable
+//! ([`SimulationConfig::endorser_shards`]): with 0 shards everything runs inline on the driver
+//! thread (the reference mode); with `N ≥ 1` shards endorsements fan out to `N`
+//! [`fabricsharp_core::pipeline::EndorserPool`] workers and commits run on the dedicated
+//! committer thread, overlapping real CPU work with the driver. Simulated time, the consensus
+//! arrival order and the commit order stay owned by the driver, so both modes produce
+//! block-for-block identical ledgers for the same seed — asserted by the
+//! `pipeline_determinism` integration tests.
 
 use crate::events::{ms, Event, EventQueue, SimTime};
 use crate::metrics::SimReport;
+use crate::pipeline::{CommitStage, EndorseStage};
 use crate::profiles::PipelineProfile;
-use eov_baselines::api::{
-    apply_without_validation, mvcc_validate_and_apply, ConcurrencyControl, SystemKind,
-};
+use eov_baselines::api::{ConcurrencyControl, SystemKind};
 use eov_common::abort::AbortReason;
 use eov_common::config::{BlockConfig, CcConfig, WorkloadParams};
+use eov_common::rwset::ReadSet;
 use eov_common::txn::{Transaction, TxnId, TxnStatus};
 use eov_common::version::SeqNo;
 use eov_ledger::{Block, Ledger};
-use eov_vstore::{MultiVersionStore, SnapshotManager};
+use eov_vstore::{into_shared, MultiVersionStore, SharedStore, SnapshotManager};
 use eov_workload::generator::{WorkloadGenerator, WorkloadKind};
 use fabricsharp_core::endorser::SnapshotEndorser;
 use std::collections::HashMap;
@@ -51,11 +60,16 @@ pub struct SimulationConfig {
     pub duration_s: f64,
     /// RNG seed for the workload generator.
     pub seed: u64,
+    /// Number of sharded endorser worker threads executing the pipeline's heavy stages.
+    /// `0` (the default) runs every stage inline on the driver thread — the reference
+    /// single-threaded mode; `N ≥ 1` spawns `N` endorser shards plus the committer thread.
+    /// Both modes produce identical ledgers for the same seed.
+    pub endorser_shards: usize,
 }
 
 impl SimulationConfig {
     /// A configuration with the paper's defaults (Fabric testbed, Table 2 defaults, 15
-    /// simulated seconds).
+    /// simulated seconds, inline stage execution).
     pub fn new(system: SystemKind, workload: WorkloadKind) -> Self {
         SimulationConfig {
             system,
@@ -66,6 +80,7 @@ impl SimulationConfig {
             profile: PipelineProfile::fabric(),
             duration_s: 15.0,
             seed: 42,
+            endorser_shards: 0,
         }
     }
 
@@ -73,6 +88,15 @@ impl SimulationConfig {
     pub fn fast_fabric(system: SystemKind, workload: WorkloadKind) -> Self {
         SimulationConfig {
             profile: PipelineProfile::fast_fabric(),
+            ..Self::new(system, workload)
+        }
+    }
+
+    /// Same as [`SimulationConfig::new`] but with the concurrent pipeline (`shards` endorser
+    /// workers plus the committer thread).
+    pub fn concurrent(system: SystemKind, workload: WorkloadKind, shards: usize) -> Self {
+        SimulationConfig {
+            endorser_shards: shards,
             ..Self::new(system, workload)
         }
     }
@@ -85,18 +109,36 @@ pub struct Simulator;
 impl Simulator {
     /// Runs one configuration to completion and reports the metrics.
     pub fn run(config: &SimulationConfig) -> SimReport {
+        Self::run_with_ledger(config).0
+    }
+
+    /// Runs one configuration to completion, returning the metrics *and* the ledger the run
+    /// produced — the artefact the determinism harness compares block for block across stage
+    /// backends.
+    pub fn run_with_ledger(config: &SimulationConfig) -> (SimReport, Ledger) {
         let profile = PipelineProfile::for_system(config.profile, config.system);
         let mut generator =
             WorkloadGenerator::new(config.workload.clone(), config.params, config.seed);
 
-        // Substrate: state store, ledger, snapshot manager, endorser, concurrency control.
-        let mut store = MultiVersionStore::new();
-        store.seed_genesis(generator.genesis());
+        // Substrate: state store (shared with the stage backends), ledger, snapshot manager,
+        // endorser, concurrency control.
+        let store: SharedStore = {
+            let mut s = MultiVersionStore::new();
+            s.seed_genesis(generator.genesis());
+            into_shared(s)
+        };
         let snapshots = SnapshotManager::new();
         snapshots.register_block(0);
         let endorser = SnapshotEndorser::new(snapshots.clone());
         let mut ledger = Ledger::new();
         let mut cc: Box<dyn ConcurrencyControl> = config.system.build(config.cc);
+        let needs_validation = cc.needs_peer_validation();
+
+        // Stage backends (inline for endorser_shards == 0, threaded otherwise).
+        let mut endorse_stage =
+            EndorseStage::new(config.endorser_shards, SharedStore::clone(&store), endorser);
+        let mut commit_stage =
+            CommitStage::new(config.endorser_shards > 0, SharedStore::clone(&store));
 
         // Event loop state.
         let mut queue = EventQueue::new();
@@ -118,6 +160,12 @@ impl Simulator {
         let mut validation_aborts: HashMap<AbortReason, u64> = HashMap::new();
         let mut submitted_at_by_txn: HashMap<TxnId, SimTime> = HashMap::new();
         let mut validator_free_at: SimTime = 0;
+        // The chain height at the driver's *logical* time. In concurrent mode the committer
+        // thread may have applied further blocks physically; the driver must never observe
+        // them early, so it mirrors the height itself instead of asking the store.
+        let mut last_committed: u64 = 0;
+        // Height assigned to the next delivered block (delivery order == commit order).
+        let mut next_commit_block: u64 = 1;
         // For the vanilla-Fabric execute-phase lock: before a block can commit (write lock),
         // the in-flight simulations holding the read lock must drain, which on average costs
         // one full simulation duration per block. Every other system replaced the lock with
@@ -143,19 +191,18 @@ impl Simulator {
                     let template = generator.next_template();
                     let endorse_ms = profile.endorse_base_ms
                         + config.params.read_interval_ms as f64 * template.read_count() as f64;
-                    let snapshot_at_submit = store.last_block();
                     let done_at = now + ms(endorse_ms);
+                    // Kick the simulation off on the endorsement stage; the result is consumed
+                    // (deterministically) when the EndorseDone event fires.
+                    endorse_stage.dispatch(
+                        request_no,
+                        last_committed,
+                        Box::new(move |ctx| template.run(ctx)),
+                    );
                     queue.schedule(
                         done_at,
                         Event::EndorseDone {
-                            txn: Self::materialise(
-                                &endorser,
-                                &store,
-                                request_no,
-                                snapshot_at_submit,
-                                &template,
-                                profile.endorsement_lock,
-                            ),
+                            request_no,
                             submitted_at: now,
                         },
                     );
@@ -169,21 +216,19 @@ impl Simulator {
                 }
 
                 Event::EndorseDone {
-                    mut txn,
+                    request_no,
                     submitted_at,
                 } => {
+                    let mut txn = endorse_stage.collect(request_no);
                     // Under the vanilla-Fabric lock the simulation effectively ran against the
                     // latest block at completion time; re-simulate if the chain advanced.
-                    if profile.endorsement_lock && txn.snapshot_block < store.last_block() {
-                        txn = Self::resimulate(
-                            &endorser,
-                            &store,
-                            &txn,
-                            store.last_block(),
-                            &mut generator,
-                        );
+                    if profile.endorsement_lock && txn.snapshot_block < last_committed {
+                        txn = {
+                            let guard = store.read();
+                            Self::resimulate(&guard, &txn, last_committed)
+                        };
                     }
-                    if cc.on_endorsement(&txn, store.last_block()).is_accept() {
+                    if cc.on_endorsement(&txn, last_committed).is_accept() {
                         let broadcast_ms =
                             config.params.client_delay_ms as f64 + profile.ordering_latency_ms;
                         queue.schedule(
@@ -254,30 +299,44 @@ impl Simulator {
                     let start = now.max(validator_free_at);
                     let service = profile.validation_ms(txns.len()) + lock_penalty_ms;
                     validator_free_at = start + ms(service);
+                    let block_no = next_commit_block;
+                    next_commit_block += 1;
+                    // Hand the block to the commit stage now (the committer thread can overlap
+                    // with the driver); its effects become visible to the driver at the
+                    // BlockValidated event.
+                    commit_stage.begin(block_no, &txns, needs_validation);
                     queue.schedule(
                         validator_free_at,
-                        Event::BlockValidated { txns, submitted_at },
+                        Event::BlockValidated {
+                            block_no,
+                            txns,
+                            submitted_at,
+                        },
                     );
                 }
 
-                Event::BlockValidated { txns, submitted_at } => {
-                    let block_no = ledger.height() + 1;
-                    // Count commits that tolerate an anti-rw dependency (a Strong-Serializability
-                    // system would have aborted them) before the writes are applied.
-                    let anti_rw = Self::count_anti_rw_commits(&store, &txns);
-
-                    let statuses = if cc.needs_peer_validation() {
-                        mvcc_validate_and_apply(&mut store, block_no, &txns)
-                    } else {
-                        committed_with_anti_rw += anti_rw;
-                        apply_without_validation(&mut store, block_no, &txns)
-                    };
+                Event::BlockValidated {
+                    block_no,
+                    txns,
+                    submitted_at,
+                } => {
+                    debug_assert_eq!(block_no, ledger.height() + 1, "commit order violation");
+                    let outcome = commit_stage.finish(block_no, &txns, needs_validation);
+                    // Count commits that tolerate an anti-rw dependency (a
+                    // Strong-Serializability system would have aborted them); only systems
+                    // without peer validation actually commit them.
+                    if !needs_validation {
+                        committed_with_anti_rw += outcome.anti_rw_commits;
+                    }
 
                     let mut block = Block::build(block_no, ledger.tip_hash(), txns);
-                    let mut outcome: Vec<(Transaction, TxnStatus)> =
+                    let mut block_outcome: Vec<(Transaction, TxnStatus)> =
                         Vec::with_capacity(block.entries.len());
-                    for ((entry, status), submitted) in
-                        block.entries.iter_mut().zip(statuses).zip(submitted_at)
+                    for ((entry, status), submitted) in block
+                        .entries
+                        .iter_mut()
+                        .zip(outcome.statuses)
+                        .zip(submitted_at)
                     {
                         entry.status = status;
                         in_ledger += 1;
@@ -297,11 +356,12 @@ impl Simulator {
                             }
                             TxnStatus::Pending => unreachable!("validation assigns final statuses"),
                         }
-                        outcome.push((entry.txn.clone(), status));
+                        block_outcome.push((entry.txn.clone(), status));
                     }
                     ledger.append(block).expect("simulator blocks always chain");
                     snapshots.register_block(block_no);
-                    cc.on_block_committed(block_no, &outcome);
+                    cc.on_block_committed(block_no, &block_outcome);
+                    last_committed = block_no;
                 }
             }
         }
@@ -313,7 +373,7 @@ impl Simulator {
         }
         let duration_s = (last_event_at as f64 / 1_000_000.0).max(config.duration_s);
         let committed_f = committed.max(1) as f64;
-        SimReport {
+        let report = SimReport {
             system: config.system,
             duration_s,
             offered,
@@ -329,7 +389,8 @@ impl Simulator {
             measured_arrival_us_per_txn: cc.arrival_time().as_secs_f64() * 1_000_000.0
                 / offered.max(1) as f64,
             committed_with_anti_rw,
-        }
+        };
+        (report, ledger)
     }
 
     /// Runs the same configuration for every system and returns the reports in
@@ -347,35 +408,15 @@ impl Simulator {
             .collect()
     }
 
-    /// Produces the endorsed transaction for a template against the given snapshot.
-    fn materialise(
-        endorser: &SnapshotEndorser,
-        store: &MultiVersionStore,
-        request_no: u64,
-        snapshot_block: u64,
-        template: &eov_workload::generator::TxnTemplate,
-        _locked: bool,
-    ) -> Transaction {
-        endorser.simulate_at(store, TxnId(request_no), snapshot_block, |ctx| {
-            template.run(ctx)
-        })
-    }
-
     /// Re-simulates a transaction against a newer snapshot (vanilla Fabric's lock semantics:
     /// the simulation always completes against the latest block). The original template is not
     /// retained, so the re-simulation simply refreshes the read versions in place — the write
     /// values are recomputed from the refreshed reads only for balance-style single-key
     /// updates; for everything else the key sets are what matter to the concurrency analysis.
-    fn resimulate(
-        _endorser: &SnapshotEndorser,
-        store: &MultiVersionStore,
-        txn: &Transaction,
-        latest_block: u64,
-        _generator: &mut WorkloadGenerator,
-    ) -> Transaction {
+    fn resimulate(store: &MultiVersionStore, txn: &Transaction, latest_block: u64) -> Transaction {
         let mut refreshed = txn.clone();
         refreshed.snapshot_block = latest_block;
-        let mut reads = eov_common::rwset::ReadSet::new();
+        let mut reads = ReadSet::new();
         for item in txn.read_set.iter() {
             let version = store
                 .read_at(&item.key, latest_block)
@@ -419,32 +460,6 @@ impl Simulator {
                 formed_at: now,
             },
         );
-    }
-
-    /// How many transactions in this (about to be committed) block read a version that is no
-    /// longer the latest — i.e. commits that tolerate an anti-rw dependency. Evaluated
-    /// serially in block order against the pre-block state plus earlier in-block writes,
-    /// exactly like the MVCC check would be.
-    fn count_anti_rw_commits(store: &MultiVersionStore, txns: &[Transaction]) -> u64 {
-        let mut in_block_writes: HashMap<&str, ()> = HashMap::new();
-        let mut count = 0;
-        for txn in txns {
-            let stale = txn.read_set.iter().any(|read| {
-                let overwritten_in_block = in_block_writes.contains_key(read.key.as_str());
-                let latest = store
-                    .latest(&read.key)
-                    .map(|vv| vv.version)
-                    .unwrap_or(SeqNo::zero());
-                overwritten_in_block || latest != read.version
-            });
-            if stale {
-                count += 1;
-            }
-            for write in txn.write_set.iter() {
-                in_block_writes.insert(write.key.as_str(), ());
-            }
-        }
-        count
     }
 }
 
@@ -513,6 +528,19 @@ mod tests {
         assert_eq!(a.committed, b.committed);
         assert_eq!(a.in_ledger, b.in_ledger);
         assert_eq!(a.blocks, b.blocks);
+    }
+
+    #[test]
+    fn concurrent_pipeline_matches_the_inline_reference() {
+        let mut config = quick_config(SystemKind::FabricSharp);
+        config.duration_s = 2.0;
+        let (inline_report, inline_ledger) = Simulator::run_with_ledger(&config);
+        config.endorser_shards = 2;
+        let (sharded_report, sharded_ledger) = Simulator::run_with_ledger(&config);
+        assert_eq!(inline_report.offered, sharded_report.offered);
+        assert_eq!(inline_report.committed, sharded_report.committed);
+        assert_eq!(inline_report.blocks, sharded_report.blocks);
+        assert_eq!(inline_ledger.tip_hash(), sharded_ledger.tip_hash());
     }
 
     #[test]

@@ -13,13 +13,18 @@
 //!   ordered in-memory maps exposing the same query surface (`Before`, `Last`, range-from).
 //! * [`pending`] — the in-memory `PendingWriteTxns` (PW) / `PendingReadTxns` (PR) indices over
 //!   the not-yet-ordered transactions.
+//! * [`shared`] — the [`shared::SharedStore`] handle used by the concurrent pipeline to share
+//!   one store between endorser shards (readers) and the committer (writer), plus the
+//!   compile-time `Send + Sync` audit of every stage-crossing substrate type.
 
 pub mod index;
 pub mod mvstore;
 pub mod pending;
+pub mod shared;
 pub mod snapshot;
 
 pub use index::{CommittedReadIndex, CommittedWriteIndex};
 pub use mvstore::{MultiVersionStore, VersionedValue};
 pub use pending::PendingIndex;
+pub use shared::{into_shared, SharedStore};
 pub use snapshot::{SnapshotManager, SnapshotView};

@@ -1,0 +1,143 @@
+//! Shared-store handles for the concurrent pipeline.
+//!
+//! The concurrent EOV pipeline (sharded endorsers, threaded committer) shares one
+//! [`MultiVersionStore`] between stages: endorser workers take the read lock and simulate
+//! against *pinned block snapshots* while the single committer thread takes the write lock to
+//! install the next block's versions. Because the store is multi-versioned and snapshot reads
+//! ([`MultiVersionStore::read_at`]) only ever consult versions at or below the pinned block,
+//! a simulation's result is unaffected by later versions being appended concurrently — which
+//! is precisely the Section 4.2 argument for replacing vanilla Fabric's endorsement
+//! read-write lock with storage snapshots.
+//!
+//! This module is the concurrency-audit companion to [`crate::snapshot`]: it pins down, at
+//! compile time, that every substrate type crossing a stage boundary is `Send + Sync`, and its
+//! tests hammer the snapshot manager and a shared store from multiple threads.
+
+use crate::mvstore::MultiVersionStore;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A [`MultiVersionStore`] shared between pipeline stages: endorser shards read (snapshot
+/// reads at pinned heights), the committer writes (appends the next block's versions).
+pub type SharedStore = Arc<RwLock<MultiVersionStore>>;
+
+/// Wraps a store for sharing across pipeline stages.
+pub fn into_shared(store: MultiVersionStore) -> SharedStore {
+    Arc::new(RwLock::new(store))
+}
+
+/// Compile-time audit: every substrate type handed across pipeline stage boundaries must be
+/// shareable between threads. A regression here (e.g. an `Rc` or a raw pointer sneaking into
+/// the store) fails the build, not a stress test.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MultiVersionStore>();
+    assert_send_sync::<SharedStore>();
+    assert_send_sync::<crate::snapshot::SnapshotManager>();
+    assert_send_sync::<crate::index::CommittedWriteIndex>();
+    assert_send_sync::<crate::index::CommittedReadIndex>();
+    assert_send_sync::<crate::pending::PendingIndex>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotManager;
+    use eov_common::rwset::{Key, Value};
+    use eov_common::txn::{Transaction, TxnId};
+    use std::thread;
+
+    /// Concurrent snapshot reads against a store that a committer thread keeps appending to:
+    /// every read at a pinned height must see exactly the value that height had when it was
+    /// pinned, regardless of how many blocks land concurrently.
+    #[test]
+    fn snapshot_reads_are_stable_under_concurrent_commits() {
+        let store = into_shared(MultiVersionStore::new());
+        store
+            .write()
+            .seed_genesis([(Key::new("A"), Value::from_i64(0))]);
+
+        let committer = {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                for block in 1..=50u64 {
+                    let txn = Transaction::new(
+                        TxnId(block),
+                        block - 1,
+                        eov_common::rwset::ReadSet::new(),
+                        {
+                            let mut ws = eov_common::rwset::WriteSet::new();
+                            ws.record(Key::new("A"), Value::from_i64(block as i64));
+                            ws
+                        },
+                    );
+                    store.write().apply_block(block, [(&txn, 1)]);
+                }
+            })
+        };
+
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                thread::spawn(move || {
+                    for _ in 0..200 {
+                        let guard = store.read();
+                        let pinned = guard.last_block();
+                        let v = guard
+                            .read_at(&Key::new("A"), pinned)
+                            .expect("never pruned")
+                            .map(|vv| vv.value.as_i64().unwrap())
+                            .unwrap_or(0);
+                        // The value at height `pinned` is by construction the block number
+                        // that wrote it (0 at genesis).
+                        assert_eq!(v, pinned as i64);
+                    }
+                })
+            })
+            .collect();
+
+        committer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(store.read().last_block(), 50);
+    }
+
+    /// The snapshot manager's pin/unpin/register/prune surface is exercised from many threads
+    /// at once; afterwards no pins may leak and the pruning floor must respect every pin that
+    /// was active when it was computed.
+    #[test]
+    fn snapshot_manager_survives_concurrent_pin_churn() {
+        let mgr = SnapshotManager::new();
+        let register = {
+            let mgr = mgr.clone();
+            thread::spawn(move || {
+                for block in 1..=100u64 {
+                    mgr.register_block(block);
+                }
+            })
+        };
+        let pinners: Vec<_> = (0..4)
+            .map(|_| {
+                let mgr = mgr.clone();
+                thread::spawn(move || {
+                    for _ in 0..200 {
+                        let block = mgr.pin_latest();
+                        assert!(mgr.pin_count(block) >= 1);
+                        mgr.unpin(block);
+                    }
+                })
+            })
+            .collect();
+        register.join().unwrap();
+        for p in pinners {
+            p.join().unwrap();
+        }
+        // All pins released: pruning can advance to the horizon.
+        assert_eq!(mgr.latest(), 100);
+        assert_eq!(mgr.prune_below(90), 90);
+        for block in 0..100u64 {
+            assert_eq!(mgr.pin_count(block), 0, "leaked pin on block {block}");
+        }
+    }
+}

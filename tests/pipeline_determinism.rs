@@ -1,0 +1,204 @@
+//! Determinism harness for the concurrent EOV pipeline.
+//!
+//! The concurrent runner (sharded endorser workers + committer thread) must be *observably
+//! identical* to the single-threaded reference: same seed → same ledger, block for block,
+//! hash for hash. This is the replication requirement of Section 3.5 extended to the stage
+//! executor — worker interleavings may vary freely, but nothing about them may leak into the
+//! consensus-visible outcome.
+//!
+//! The harness sweeps ≥3 seeds × 2 workloads and compares the inline run (`endorser_shards ==
+//! 0`) against 1, 2 and 4 shards, plus the `ParallelChain` facade against `SimpleChain`.
+
+use fabricsharp::baselines::{ParallelChain, SimpleChain, SystemKind};
+use fabricsharp::common::rwset::{Key, Value};
+use fabricsharp::core::pipeline::EndorseLogic;
+use fabricsharp::sim::runner::{SimulationConfig, Simulator};
+use fabricsharp::sim::SimReport;
+use fabricsharp::workload::generator::WorkloadKind;
+
+const SEEDS: [u64; 3] = [1, 7, 42];
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn workloads() -> Vec<(&'static str, WorkloadKind)> {
+    vec![
+        ("modified-smallbank", WorkloadKind::ModifiedSmallbank),
+        ("kv-zipf-0.9", WorkloadKind::KvUpdate { theta: 0.9 }),
+    ]
+}
+
+fn base_config(system: SystemKind, workload: WorkloadKind, seed: u64) -> SimulationConfig {
+    let mut config = SimulationConfig::new(system, workload);
+    config.duration_s = 1.5;
+    config.params.num_accounts = 500;
+    config.params.request_rate_tps = 400;
+    config.block.max_txns_per_block = 40;
+    config.seed = seed;
+    config
+}
+
+fn assert_reports_match(context: &str, reference: &SimReport, candidate: &SimReport) {
+    assert_eq!(reference.offered, candidate.offered, "{context}: offered");
+    assert_eq!(
+        reference.committed, candidate.committed,
+        "{context}: committed"
+    );
+    assert_eq!(
+        reference.in_ledger, candidate.in_ledger,
+        "{context}: in_ledger"
+    );
+    assert_eq!(reference.blocks, candidate.blocks, "{context}: blocks");
+    assert_eq!(reference.aborts, candidate.aborts, "{context}: aborts");
+    assert_eq!(
+        reference.committed_with_anti_rw, candidate.committed_with_anti_rw,
+        "{context}: anti-rw commits"
+    );
+}
+
+/// The core acceptance criterion: for every seed × workload, every shard count produces a
+/// ledger identical to the single-threaded reference — same heights, same per-block entries
+/// (transactions *and* statuses), same chain hashes.
+#[test]
+fn concurrent_runner_reproduces_the_single_threaded_ledger() {
+    for (name, workload) in workloads() {
+        for seed in SEEDS {
+            let reference_cfg = base_config(SystemKind::FabricSharp, workload.clone(), seed);
+            let (reference_report, reference_ledger) = Simulator::run_with_ledger(&reference_cfg);
+            assert!(
+                reference_report.committed > 0,
+                "{name}/seed{seed}: reference run must commit work"
+            );
+
+            for shards in SHARD_COUNTS {
+                let mut cfg = reference_cfg.clone();
+                cfg.endorser_shards = shards;
+                let (report, ledger) = Simulator::run_with_ledger(&cfg);
+                let context = format!("{name}/seed{seed}/shards{shards}");
+
+                assert_reports_match(&context, &reference_report, &report);
+                assert_eq!(
+                    reference_ledger.height(),
+                    ledger.height(),
+                    "{context}: ledger height"
+                );
+                for (expected, actual) in reference_ledger.iter().zip(ledger.iter()) {
+                    assert_eq!(
+                        expected,
+                        actual,
+                        "{context}: block {} diverged",
+                        expected.number()
+                    );
+                }
+                assert_eq!(
+                    reference_ledger.tip_hash(),
+                    ledger.tip_hash(),
+                    "{context}: tip hash"
+                );
+                assert!(ledger.verify_integrity().is_ok(), "{context}: integrity");
+            }
+        }
+    }
+}
+
+/// The MVCC-validated path (vanilla Fabric, including its endorsement-lock re-simulation)
+/// must be deterministic across stage backends too, not just FabricSharp's validation-free
+/// path.
+#[test]
+fn concurrent_runner_is_deterministic_for_fabric_too() {
+    for seed in SEEDS {
+        let reference_cfg = base_config(
+            SystemKind::Fabric,
+            WorkloadKind::KvUpdate { theta: 0.9 },
+            seed,
+        );
+        let (reference_report, reference_ledger) = Simulator::run_with_ledger(&reference_cfg);
+        let mut cfg = reference_cfg.clone();
+        cfg.endorser_shards = 2;
+        let (report, ledger) = Simulator::run_with_ledger(&cfg);
+        let context = format!("fabric/seed{seed}");
+        assert_reports_match(&context, &reference_report, &report);
+        assert_eq!(reference_ledger.tip_hash(), ledger.tip_hash(), "{context}");
+    }
+}
+
+/// Repeated concurrent runs of the *same* configuration agree with each other (no hidden
+/// dependence on thread scheduling between two equally-sharded runs).
+#[test]
+fn concurrent_runs_are_self_consistent_across_repetitions() {
+    let mut cfg = base_config(SystemKind::FabricSharp, WorkloadKind::ModifiedSmallbank, 7);
+    cfg.endorser_shards = 4;
+    let (report_a, ledger_a) = Simulator::run_with_ledger(&cfg);
+    let (report_b, ledger_b) = Simulator::run_with_ledger(&cfg);
+    assert_reports_match("repeat", &report_a, &report_b);
+    assert_eq!(ledger_a.tip_hash(), ledger_b.tip_hash());
+}
+
+fn transfer_batch(round: u64, accounts: usize) -> Vec<EndorseLogic> {
+    (0..4usize)
+        .map(|i| {
+            let from = Key::new(format!("acct{}", (i + round as usize) % accounts));
+            let to = Key::new(format!("acct{}", (i + round as usize * 3 + 1) % accounts));
+            let logic: EndorseLogic = Box::new(move |ctx| {
+                let f = ctx.read_balance(&from);
+                let t = ctx.read_balance(&to);
+                ctx.write(from.clone(), Value::from_i64(f - 1));
+                ctx.write(to.clone(), Value::from_i64(t + 1));
+            });
+            logic
+        })
+        .collect()
+}
+
+/// Cross-facade determinism: driving the same contract batches through `SimpleChain`
+/// (sequential) and `ParallelChain` (sharded endorsement + committer thread) yields identical
+/// ledgers for every system and shard count.
+#[test]
+fn parallel_chain_matches_simple_chain_block_for_block() {
+    const ACCOUNTS: usize = 8;
+    for kind in SystemKind::all() {
+        // Reference: the synchronous facade.
+        let mut simple = SimpleChain::new(kind);
+        simple.seed((0..ACCOUNTS).map(|i| (Key::new(format!("acct{i}")), Value::from_i64(100))));
+        for round in 0..6u64 {
+            for logic in transfer_batch(round, ACCOUNTS) {
+                let txn = simple.execute(|ctx| logic(ctx));
+                let _ = simple.submit(txn);
+            }
+            simple.seal_block();
+        }
+
+        for shards in SHARD_COUNTS {
+            let mut parallel = ParallelChain::new(kind, shards);
+            parallel
+                .seed((0..ACCOUNTS).map(|i| (Key::new(format!("acct{i}")), Value::from_i64(100))));
+            for round in 0..6u64 {
+                parallel.submit_batch(transfer_batch(round, ACCOUNTS));
+                parallel.seal_block();
+            }
+
+            let context = format!("{kind}/shards{shards}");
+            assert_eq!(
+                simple.ledger().height(),
+                parallel.ledger().height(),
+                "{context}: height"
+            );
+            for (expected, actual) in simple.ledger().iter().zip(parallel.ledger().iter()) {
+                assert_eq!(
+                    expected,
+                    actual,
+                    "{context}: block {} diverged",
+                    expected.number()
+                );
+            }
+            assert_eq!(
+                simple.ledger().tip_hash(),
+                parallel.ledger().tip_hash(),
+                "{context}: tip hash"
+            );
+            assert_eq!(
+                simple.committed_history().len(),
+                parallel.committed_history().len(),
+                "{context}: committed history"
+            );
+        }
+    }
+}
