@@ -73,6 +73,30 @@ pub fn print_scalar_rows<T: std::fmt::Display>(label: &str, rows: &[(T, f64)]) {
     println!();
 }
 
+/// Prints the measured per-block formation wall-clock (p50 / p99 / total) for every system at
+/// every sweep point — the end-to-end view of the dependency-graph engine's block-formation
+/// cost on this machine.
+pub fn print_formation_table<T: std::fmt::Display>(x_label: &str, rows: &[(T, Vec<SimReport>)]) {
+    println!("measured block formation wall-clock (this machine): p50 µs / p99 µs / total ms");
+    print!("{x_label:<22}");
+    for system in SystemKind::all() {
+        print!("{:>22}", system.label());
+    }
+    println!();
+    for (x, reports) in rows {
+        print!("{:<22}", format!("{x}"));
+        for report in reports {
+            let f = &report.formation;
+            print!(
+                "{:>22}",
+                format!("{:.0}/{:.0}/{:.1}", f.p50_us, f.p99_us, f.total_ms)
+            );
+        }
+        println!();
+    }
+    println!();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

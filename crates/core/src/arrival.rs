@@ -26,8 +26,11 @@ impl FabricSharpCC {
         self.stats.arrivals += 1;
 
         // Idempotence guard: consensus deduplicates in practice, but a replayed transaction
-        // must not end up in the pending set (or the graph) twice.
-        if self.pending_txns.contains_key(&txn.id.0) {
+        // must not end up in the pending set (or the graph) twice. The graph check also
+        // covers transactions already cut into a block but not yet pruned — re-accepting one
+        // of those must not re-enter it into the pending set (it would be committed twice) or
+        // re-insert its graph node.
+        if self.pending_txns.contains_key(&txn.id.0) || self.graph.contains(txn.id) {
             return CommitDecision::Accept;
         }
 
@@ -235,5 +238,31 @@ mod tests {
         // ignores self-dependencies. (The consensus layer de-duplicates in practice.)
         let _ = cc.on_arrival(t);
         assert_eq!(cc.pending_len(), 1);
+    }
+
+    /// Regression test (PR 3 review): a replayed delivery of a transaction that was already
+    /// cut into a block — but whose node is still tracked in the graph for cycle detection —
+    /// must not re-enter the pending set (it would be committed twice) or disturb the graph.
+    #[test]
+    fn replayed_arrival_of_a_cut_transaction_is_ignored() {
+        let mut cc = exact_cc();
+        let t = txn(1, 0, &[("A", (0, 1))], &["B"]);
+        assert!(cc.on_arrival(t.clone()).is_accept());
+        let block = cc.cut_block();
+        assert_eq!(block.len(), 1);
+        assert_eq!(cc.pending_len(), 0);
+        assert!(cc.graph().contains(eov_common::txn::TxnId(1)));
+
+        // Replay: accepted (idempotent) but nothing re-enters the pending set, and the next
+        // block is empty rather than committing txn 1 a second time.
+        assert!(cc.on_arrival(t).is_accept());
+        assert_eq!(cc.pending_len(), 0);
+        assert!(cc.cut_block().is_empty());
+        assert!(!cc
+            .graph()
+            .node(eov_common::txn::TxnId(1))
+            .unwrap()
+            .is_pending());
+        assert!(cc.graph().is_acyclic_exact());
     }
 }

@@ -138,12 +138,7 @@ impl FabricSharpCC {
         // order (Figure 9: Txn8 is reachable through both restored edges but is updated once).
         let iteration = self.graph.reachable_in_topo_order(&head_txns);
         for txn in iteration {
-            let succs: Vec<TxnId> = self
-                .graph
-                .node(txn)
-                .map(|n| n.succ.clone())
-                .unwrap_or_default();
-            for s in succs {
+            for s in self.graph.successors(txn) {
                 self.graph.propagate_reachability(txn, s);
             }
         }

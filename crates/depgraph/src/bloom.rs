@@ -54,7 +54,14 @@ impl BloomFilter {
 
     /// Tests membership. May return a false positive, never a false negative.
     pub fn contains(&self, item: u64) -> bool {
-        let (h1, h2) = Self::hash_pair(item);
+        self.contains_prehashed(Self::hash_pair(item))
+    }
+
+    /// Membership test with the double-hashing pair already computed by
+    /// [`BloomFilter::hash_pair`]. Identical to [`BloomFilter::contains`]; callers probing one
+    /// item against many filters (the arrival-time cycle test) hash once and probe N times.
+    #[inline]
+    pub(crate) fn contains_prehashed(&self, (h1, h2): (u64, u64)) -> bool {
         (0..self.num_hashes).all(|i| {
             let bit = self.probe(h1, h2, i);
             self.words[bit / 64] & (1u64 << (bit % 64)) != 0
@@ -119,7 +126,7 @@ impl BloomFilter {
     }
 
     #[inline]
-    fn hash_pair(item: u64) -> (u64, u64) {
+    pub(crate) fn hash_pair(item: u64) -> (u64, u64) {
         (
             splitmix64(item ^ 0x9e37_79b9_7f4a_7c15),
             splitmix64(item.wrapping_add(0x2545_f491_4f6c_dd1d)) | 1,

@@ -4,11 +4,11 @@
 //! (Section 4.4), accepting occasional false-positive aborts. For testing, benchmarking the
 //! ablation, and validating Theorem 2 end-to-end, this module provides exact graph algorithms
 //! over the successor edges: whole-graph acyclicity and an exact version of the arrival-time
-//! cycle check.
+//! cycle check. Both run directly on interned slots — dense colour tables and the epoch-tagged
+//! scratch replace the per-call hash maps of the seed implementation.
 
 use crate::graph::DependencyGraph;
 use eov_common::txn::TxnId;
-use std::collections::HashSet;
 
 /// DFS colouring for cycle detection.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -23,34 +23,32 @@ impl DependencyGraph {
     /// (Algorithm 2 keeps the graph acyclic) is asserted against this in tests and property
     /// tests.
     pub fn is_acyclic_exact(&self) -> bool {
-        use std::collections::HashMap;
-        let mut colour: HashMap<u64, Colour> =
-            self.nodes().map(|n| (n.id.0, Colour::White)).collect();
+        let capacity = self.capacity();
+        let mut colour = vec![Colour::White; capacity];
 
-        // Iterative DFS from every white node.
-        let ids: Vec<TxnId> = self.nodes().map(|n| n.id).collect();
-        for start in ids {
-            if colour[&start.0] != Colour::White {
+        // Iterative DFS from every white live slot.
+        let mut dfs: Vec<(u32, u32)> = Vec::new();
+        for start in 0..capacity as u32 {
+            if self.node_at(start).is_none() || colour[start as usize] != Colour::White {
                 continue;
             }
-            let mut stack: Vec<(TxnId, usize)> = vec![(start, 0)];
-            colour.insert(start.0, Colour::Grey);
-            while let Some((current, child_idx)) = stack.last_mut() {
-                let node = self.node(*current).expect("node exists");
-                if let Some(&child) = node.succ.get(*child_idx) {
+            colour[start as usize] = Colour::Grey;
+            dfs.push((start, 0));
+            while let Some((slot, child_idx)) = dfs.last_mut() {
+                let node = self.node_at(*slot).expect("grey slots are live");
+                if let Some(&child) = node.succ.get(*child_idx as usize) {
                     *child_idx += 1;
-                    match colour.get(&child.0) {
-                        Some(Colour::Grey) => return false,
-                        Some(Colour::White) => {
-                            colour.insert(child.0, Colour::Grey);
-                            stack.push((child, 0));
+                    match colour[child as usize] {
+                        Colour::Grey => return false,
+                        Colour::White => {
+                            colour[child as usize] = Colour::Grey;
+                            dfs.push((child, 0));
                         }
-                        // Black (done) or a dangling reference to a pruned node: skip.
-                        _ => {}
+                        Colour::Black => {}
                     }
                 } else {
-                    colour.insert(current.0, Colour::Black);
-                    stack.pop();
+                    colour[*slot as usize] = Colour::Black;
+                    dfs.pop();
                 }
             }
         }
@@ -61,35 +59,40 @@ impl DependencyGraph {
     /// the given predecessors and successors closes a cycle iff some successor can reach some
     /// predecessor through existing edges (or a transaction appears on both sides).
     pub fn would_close_cycle_exact(&self, preds: &[TxnId], succs: &[TxnId]) -> bool {
-        let pred_set: HashSet<TxnId> = preds
-            .iter()
-            .copied()
-            .filter(|p| self.contains(*p))
-            .collect();
-        if pred_set.is_empty() {
+        let mut scratch = self.scratch().borrow_mut();
+        let capacity = self.capacity();
+        // Mark the (tracked) predecessor slots; the DFS below tests membership in O(1).
+        scratch.marks.reset(capacity);
+        let mut any_pred = false;
+        for &p in preds {
+            if let Some(slot) = self.slot_of(p) {
+                scratch.marks.insert(slot);
+                any_pred = true;
+            }
+        }
+        if !any_pred {
             return false;
         }
         for &s in succs {
-            if pred_set.contains(&s) {
+            let Some(s_slot) = self.slot_of(s) else {
+                continue;
+            };
+            if scratch.marks.contains(s_slot) {
                 return true;
             }
-            if !self.contains(s) {
-                continue;
-            }
             // DFS from s looking for any predecessor.
-            let mut visited: HashSet<u64> = HashSet::new();
-            let mut stack = vec![s];
-            visited.insert(s.0);
-            while let Some(current) = stack.pop() {
-                let Some(node) = self.node(current) else {
-                    continue;
-                };
+            scratch.visited.reset(capacity);
+            scratch.visited.insert(s_slot);
+            scratch.stack.clear();
+            scratch.stack.push(s_slot);
+            while let Some(current) = scratch.stack.pop() {
+                let node = self.node_at(current).expect("adjacency never dangles");
                 for &nxt in &node.succ {
-                    if pred_set.contains(&nxt) {
+                    if scratch.marks.contains(nxt) {
                         return true;
                     }
-                    if visited.insert(nxt.0) {
-                        stack.push(nxt);
+                    if scratch.visited.insert(nxt) {
+                        scratch.stack.push(nxt);
                     }
                 }
             }

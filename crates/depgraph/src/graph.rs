@@ -1,19 +1,25 @@
 //! The transaction dependency graph (Sections 4.3–4.5).
 //!
-//! Every transaction accepted by the FabricSharp orderer becomes a node. Edges follow the
+//! Every transaction accepted by the FabricSharp orderer becomes a node. Node storage is a
+//! slab indexed by dense interned slots ([`crate::interner::Interner`]): edges follow the
 //! *dependency order* (`from` must be serialized before `to`) and are stored as immediate
-//! successor lists (`succ`) mirrored by predecessor lists (`pred`) so removals touch only a
-//! node's neighbourhood. In addition, each node carries `anti_reachable`: a set — a bloom
-//! filter, optionally shadowed by an exact set for the ablation experiments — of every
-//! transaction that can reach it. Cycle detection for a new transaction then reduces to
-//! membership tests between its prospective predecessors and successors (Section 4.4), and
-//! Algorithm 4's reachability maintenance reduces to bit-vector unions.
+//! successor lists (`succ`) of `u32` slots mirrored by predecessor lists (`pred`), so removals
+//! touch only a node's neighbourhood and traversals index a `Vec` instead of hashing. Each
+//! node carries `anti_reachable`: a set — a bloom filter, optionally shadowed by an exact set
+//! for the ablation experiments — of every transaction that can reach it. Cycle detection for
+//! a new transaction then reduces to membership tests between its prospective predecessors and
+//! successors (Section 4.4), and Algorithm 4's reachability maintenance reduces to bit-vector
+//! unions. Exact reachability queries run on a reusable [`crate::visited::EpochVisited`]
+//! scratch set, so the per-transaction path allocates nothing once the slab is warm.
 
 use crate::bloom::BloomFilter;
+use crate::interner::Interner;
+use crate::visited::EpochVisited;
 use eov_common::config::CcConfig;
 use eov_common::rwset::Key;
 use eov_common::txn::TxnId;
 use eov_common::version::SeqNo;
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 
 /// The set of transactions that can reach a node.
@@ -39,7 +45,7 @@ impl ReachSet {
 
     /// A minimal throwaway set used to temporarily displace a stored set while it is borrowed
     /// as a union source (see [`DependencyGraph::insert_pending`]); never unioned or queried.
-    fn placeholder() -> Self {
+    pub(crate) fn placeholder() -> Self {
         ReachSet {
             bloom: BloomFilter::new(64, 1),
             exact: None,
@@ -57,6 +63,14 @@ impl ReachSet {
     /// Membership test against the bloom filter (may be a false positive).
     pub fn contains(&self, id: TxnId) -> bool {
         self.bloom.contains(id.0)
+    }
+
+    /// Membership test with the double-hashing pair precomputed by
+    /// [`BloomFilter::hash_pair`]. Equivalent to [`ReachSet::contains`]; lets the cycle test
+    /// hash each candidate successor once instead of once per (pred, succ) pair.
+    #[inline]
+    pub(crate) fn contains_prehashed(&self, hashes: (u64, u64)) -> bool {
+        self.bloom.contains_prehashed(hashes)
     }
 
     /// Exact membership, if exact tracking is enabled.
@@ -88,11 +102,12 @@ pub struct TxnNode {
     /// End timestamp (Definition 4) once the transaction has been placed in a block; `None`
     /// while it is still pending.
     pub end_ts: Option<SeqNo>,
-    /// Immediate successors in dependency order.
-    pub succ: Vec<TxnId>,
+    /// Immediate successors in dependency order, as interned slots. External callers read
+    /// transaction ids through [`DependencyGraph::successors`].
+    pub(crate) succ: Vec<u32>,
     /// Immediate predecessors — the mirror of `succ`, maintained so removing a node only has
     /// to visit its neighbours instead of scanning every successor list in the graph.
-    pub pred: Vec<TxnId>,
+    pub(crate) pred: Vec<u32>,
     /// Every transaction that can reach this node (bloom-filter representation).
     pub anti_reachable: ReachSet,
     /// Age (Section 4.6): the highest block number such that a transaction destined for that
@@ -223,21 +238,42 @@ impl PendingList {
     }
 }
 
+/// Reusable traversal scratch shared by the query paths. One instance lives inside the graph
+/// behind a `RefCell` (queries take `&self`); mutating entry points reach it without runtime
+/// borrow checks through `RefCell::get_mut`.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Scratch {
+    /// Visited set for DFS walks.
+    pub(crate) visited: EpochVisited,
+    /// Second mark set for queries that need membership and visited simultaneously (the exact
+    /// cycle oracle marks predecessor slots here while `visited` tracks the DFS).
+    pub(crate) marks: EpochVisited,
+    /// DFS stack of slots.
+    pub(crate) stack: Vec<u32>,
+    /// Per-successor (slot, bloom hash pair) cache for the arrival-time cycle test.
+    succ_info: Vec<(Option<u32>, (u64, u64))>,
+}
+
 /// The transaction dependency graph `G` with nodes `U` and successor edges `V`.
 #[derive(Clone, Debug)]
 pub struct DependencyGraph {
-    nodes: HashMap<u64, TxnNode>,
+    interner: Interner,
+    /// Node slab, parallel to the interner's slot space; `None` marks a recyclable slot.
+    nodes: Vec<Option<TxnNode>>,
     pending: PendingList,
     config: CcConfig,
+    scratch: RefCell<Scratch>,
 }
 
 impl DependencyGraph {
     /// Creates an empty graph with the given concurrency-control configuration.
     pub fn new(config: CcConfig) -> Self {
         DependencyGraph {
-            nodes: HashMap::new(),
+            interner: Interner::new(),
+            nodes: Vec::new(),
             pending: PendingList::default(),
             config,
+            scratch: RefCell::new(Scratch::default()),
         }
     }
 
@@ -248,22 +284,37 @@ impl DependencyGraph {
 
     /// Number of nodes currently tracked (pending + committed, before pruning).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.interner.len()
     }
 
     /// Whether the graph tracks no transactions.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.interner.is_empty()
     }
 
     /// Whether `id` is currently tracked.
     pub fn contains(&self, id: TxnId) -> bool {
-        self.nodes.contains_key(&id.0)
+        self.interner.get(id).is_some()
     }
 
     /// Immutable access to a node.
     pub fn node(&self, id: TxnId) -> Option<&TxnNode> {
-        self.nodes.get(&id.0)
+        let slot = self.interner.get(id)?;
+        self.nodes[slot as usize].as_ref()
+    }
+
+    /// The immediate successors of `id`, as transaction ids (empty if `id` is untracked).
+    pub fn successors(&self, id: TxnId) -> Vec<TxnId> {
+        self.node(id)
+            .map(|n| n.succ.iter().map(|&s| self.interner.id_at(s)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The immediate predecessors of `id`, as transaction ids (empty if `id` is untracked).
+    pub fn predecessors(&self, id: TxnId) -> Vec<TxnId> {
+        self.node(id)
+            .map(|n| n.pred.iter().map(|&p| self.interner.id_at(p)).collect())
+            .unwrap_or_default()
     }
 
     /// The pending transactions in arrival order.
@@ -276,18 +327,44 @@ impl DependencyGraph {
         self.pending.len()
     }
 
-    /// Iterates over all nodes in unspecified order.
+    /// Iterates over all nodes in slot order.
     pub fn nodes(&self) -> impl Iterator<Item = &TxnNode> {
-        self.nodes.values()
+        self.nodes.iter().filter_map(Option::as_ref)
+    }
+
+    /// Total slot space (live + recyclable); sizes the dense per-slot side tables used by the
+    /// traversal modules.
+    pub(crate) fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node stored at a slot (`None` for vacant slots).
+    #[inline]
+    pub(crate) fn node_at(&self, slot: u32) -> Option<&TxnNode> {
+        self.nodes[slot as usize].as_ref()
+    }
+
+    /// The transaction id of a **live** slot.
+    #[inline]
+    pub(crate) fn id_at(&self, slot: u32) -> TxnId {
+        self.interner.id_at(slot)
+    }
+
+    /// The slot of a tracked transaction.
+    #[inline]
+    pub(crate) fn slot_of(&self, id: TxnId) -> Option<u32> {
+        self.interner.get(id)
+    }
+
+    /// The traversal scratch (shared with the `topo` and `cycle` modules).
+    pub(crate) fn scratch(&self) -> &RefCell<Scratch> {
+        &self.scratch
     }
 
     /// The earliest commit block among committed nodes still in the graph (`C` in the
     /// two-filter-relay discussion of Section 4.4), if any committed node remains.
     pub fn earliest_committed_block(&self) -> Option<u64> {
-        self.nodes
-            .values()
-            .filter_map(|n| n.end_ts.map(|e| e.block))
-            .min()
+        self.nodes().filter_map(|n| n.end_ts.map(|e| e.block)).min()
     }
 
     /// Section 4.4's cycle test: for each pair `(p, s)` of a predecessor and a successor of the
@@ -295,32 +372,59 @@ impl DependencyGraph {
     /// transaction would supply the missing `p → new → s` segment). Membership is tested on
     /// the predecessor's `anti_reachable` filter; a predecessor that is itself a successor is
     /// an immediate two-node cycle.
+    ///
+    /// The pair loop resolves each id to its interned slot once and precomputes each
+    /// successor's bloom probe hashes once, so a scan over `|preds| × |succs|` pairs costs one
+    /// filter probe per pair — no hashing, no map lookups — and bails out on the first
+    /// (possible) hit.
     pub fn would_close_cycle(&self, preds: &[TxnId], succs: &[TxnId]) -> CycleCheck {
-        for &p in preds {
-            for &s in succs {
-                if p == s {
-                    return CycleCheck::Cycle {
-                        confirmed_exact: Some(true),
+        let mut hit: Option<(TxnId, TxnId)> = None;
+        {
+            let mut scratch = self.scratch.borrow_mut();
+            scratch.succ_info.clear();
+            for s in succs {
+                scratch
+                    .succ_info
+                    .push((self.interner.get(*s), BloomFilter::hash_pair(s.0)));
+            }
+            'pairs: for &p in preds {
+                let p_node = self
+                    .interner
+                    .get(p)
+                    .and_then(|slot| self.nodes[slot as usize].as_ref());
+                for (i, &s) in succs.iter().enumerate() {
+                    if p == s {
+                        return CycleCheck::Cycle {
+                            confirmed_exact: Some(true),
+                        };
+                    }
+                    let Some(p_node) = p_node else {
+                        continue;
                     };
-                }
-                let Some(p_node) = self.nodes.get(&p.0) else {
-                    continue;
-                };
-                if !self.nodes.contains_key(&s.0) {
-                    continue;
-                }
-                if p_node.anti_reachable.contains(s) {
-                    let confirmed = p_node
-                        .anti_reachable
-                        .contains_exact(s)
-                        .map(|exact| exact || self.reaches_exact(s, p));
-                    return CycleCheck::Cycle {
-                        confirmed_exact: confirmed,
-                    };
+                    let (s_slot, s_hashes) = scratch.succ_info[i];
+                    if s_slot.is_none() {
+                        continue;
+                    }
+                    if p_node.anti_reachable.contains_prehashed(s_hashes) {
+                        hit = Some((p, s));
+                        break 'pairs;
+                    }
                 }
             }
         }
-        CycleCheck::Acyclic
+        match hit {
+            None => CycleCheck::Acyclic,
+            Some((p, s)) => {
+                let p_node = self.node(p).expect("bloom hit implies a tracked pred");
+                let confirmed = p_node
+                    .anti_reachable
+                    .contains_exact(s)
+                    .map(|exact| exact || self.reaches_exact(s, p));
+                CycleCheck::Cycle {
+                    confirmed_exact: confirmed,
+                }
+            }
+        }
     }
 
     /// Algorithm 4: inserts a pending transaction with the given immediate predecessors and
@@ -334,7 +438,14 @@ impl DependencyGraph {
     /// The downstream delta (the new node's reachability plus the new node itself) is borrowed
     /// from the stored node for the duration of the walk instead of being cloned per insertion
     /// — the per-insert `ReachSet` clone was the dominant arrival-path cost at production
-    /// bloom sizes.
+    /// bloom sizes. The walk itself runs on the epoch-tagged scratch, so a warm graph inserts
+    /// without allocating.
+    ///
+    /// Re-inserting an id that is still tracked is a **no-op** (the node already carries its
+    /// edges). Overwriting the slot would leave the old incarnation's neighbour adjacency
+    /// pointing at a slot that, once freed and recycled, would silently attach those edges to
+    /// an unrelated transaction — callers that replay deliveries (consensus duplicates) rely
+    /// on this guard.
     pub fn insert_pending(
         &mut self,
         spec: PendingTxnSpec,
@@ -343,6 +454,13 @@ impl DependencyGraph {
         next_block: u64,
     ) -> InsertReport {
         let id = spec.id;
+        if self.interner.get(id).is_some() {
+            return InsertReport::default();
+        }
+        let slot = self.interner.intern(id);
+        if slot as usize == self.nodes.len() {
+            self.nodes.push(None);
+        }
         let mut node = TxnNode {
             id,
             start_ts: spec.start_ts,
@@ -360,34 +478,48 @@ impl DependencyGraph {
             if p == id {
                 continue;
             }
-            let Some(p_node) = self.nodes.get_mut(&p.0) else {
+            let Some(p_slot) = self.interner.get(p) else {
                 continue;
             };
-            if !p_node.succ.contains(&id) {
-                p_node.succ.push(id);
-                node.pred.push(p);
+            let p_node = self.nodes[p_slot as usize]
+                .as_mut()
+                .expect("interned slots are live");
+            if !p_node.succ.contains(&slot) {
+                p_node.succ.push(slot);
+                node.pred.push(p_slot);
             }
             node.anti_reachable.insert(p);
             // Split borrow: clone nothing — union from an immutable re-borrow after the push.
-            let p_reach = &self.nodes[&p.0].anti_reachable;
-            // The borrow above is fine because `node` is a local, not part of the map yet.
+            let p_reach = &self.nodes[p_slot as usize]
+                .as_ref()
+                .expect("interned slots are live")
+                .anti_reachable;
+            // The borrow above is fine because `node` is a local, not part of the slab yet.
             node.anti_reachable.union_with(p_reach);
         }
 
         // Wire successors: txn.succ ∪= succs (deduplicated, existing nodes only), mirroring
         // each edge in the successor's predecessor list.
         for &s in succs {
-            if s == id || node.succ.contains(&s) {
+            if s == id {
                 continue;
             }
-            if let Some(s_node) = self.nodes.get_mut(&s.0) {
-                node.succ.push(s);
-                s_node.pred.push(id);
+            let Some(s_slot) = self.interner.get(s) else {
+                continue;
+            };
+            if node.succ.contains(&s_slot) {
+                continue;
             }
+            node.succ.push(s_slot);
+            self.nodes[s_slot as usize]
+                .as_mut()
+                .expect("interned slots are live")
+                .pred
+                .push(slot);
         }
 
         let succ_roots = node.succ.clone();
-        self.nodes.insert(id.0, node);
+        self.nodes[slot as usize] = Some(node);
         self.pending.push(id);
 
         // Propagate to every node reachable from the successors (Algorithm 4 lines 5–7): each
@@ -395,28 +527,31 @@ impl DependencyGraph {
         // itself. The delta is moved out of the stored node (the graph is acyclic, so the new
         // node can never appear in its own downstream) and moved back after the walk.
         let delta = {
-            let n = self.nodes.get_mut(&id.0).expect("inserted above");
+            let n = self.nodes[slot as usize].as_mut().expect("inserted above");
             std::mem::replace(&mut n.anti_reachable, ReachSet::placeholder())
         };
         let mut hops = 0usize;
-        let mut visited: HashSet<u64> = HashSet::new();
-        visited.insert(id.0);
-        let mut stack: Vec<TxnId> = succ_roots;
-        while let Some(current) = stack.pop() {
-            if !visited.insert(current.0) {
+        let capacity = self.nodes.len();
+        let scratch = self.scratch.get_mut();
+        scratch.visited.reset(capacity);
+        scratch.visited.insert(slot);
+        scratch.stack.clear();
+        scratch.stack.extend_from_slice(&succ_roots);
+        while let Some(current) = scratch.stack.pop() {
+            if !scratch.visited.insert(current) {
                 continue;
             }
-            let Some(n) = self.nodes.get_mut(&current.0) else {
-                continue;
-            };
+            let n = self.nodes[current as usize]
+                .as_mut()
+                .expect("adjacency never dangles");
             hops += 1;
             n.anti_reachable.union_with(&delta);
             n.anti_reachable.insert(id);
             n.age = n.age.max(next_block);
-            stack.extend(n.succ.iter().copied());
+            scratch.stack.extend_from_slice(&n.succ);
         }
-        self.nodes
-            .get_mut(&id.0)
+        self.nodes[slot as usize]
+            .as_mut()
             .expect("inserted above")
             .anti_reachable = delta;
 
@@ -427,48 +562,61 @@ impl DependencyGraph {
     /// reachability (plus `from` itself) into `to`. Used by the ww-restoration step
     /// (Algorithm 5), which then propagates further downstream itself in topological order.
     pub fn add_edge_with_union(&mut self, from: TxnId, to: TxnId) {
-        if from == to || !self.nodes.contains_key(&from.0) || !self.nodes.contains_key(&to.0) {
+        if from == to {
             return;
         }
-        let from_node = self.nodes.get_mut(&from.0).expect("checked above");
-        if !from_node.succ.contains(&to) {
-            from_node.succ.push(to);
-            self.nodes
-                .get_mut(&to.0)
-                .expect("checked above")
+        let (Some(from_slot), Some(to_slot)) = (self.interner.get(from), self.interner.get(to))
+        else {
+            return;
+        };
+        let from_node = self.nodes[from_slot as usize]
+            .as_mut()
+            .expect("interned slots are live");
+        if !from_node.succ.contains(&to_slot) {
+            from_node.succ.push(to_slot);
+            self.nodes[to_slot as usize]
+                .as_mut()
+                .expect("interned slots are live")
                 .pred
-                .push(from);
+                .push(from_slot);
         }
-        self.union_through(from, to);
+        self.union_through(from_slot, to_slot);
     }
 
     /// Unions the reachability of `source` (plus `source` itself) into `target` without adding
     /// an edge; used by Algorithm 5's downstream propagation loop.
     pub fn propagate_reachability(&mut self, source: TxnId, target: TxnId) {
-        if source == target
-            || !self.nodes.contains_key(&source.0)
-            || !self.nodes.contains_key(&target.0)
-        {
+        if source == target {
             return;
         }
-        self.union_through(source, target);
+        let (Some(source_slot), Some(target_slot)) =
+            (self.interner.get(source), self.interner.get(target))
+        else {
+            return;
+        };
+        self.union_through(source_slot, target_slot);
     }
 
     /// `target.anti_reachable ∪= source.anti_reachable ∪ {source}` without cloning: the source
     /// set is moved out for the duration of the union and moved back. Callers guarantee
-    /// `source != target` and that both nodes exist.
-    fn union_through(&mut self, source: TxnId, target: TxnId) {
+    /// `source != target` and that both slots are live.
+    fn union_through(&mut self, source: u32, target: u32) {
+        let source_id = self.interner.id_at(source);
         let delta = {
-            let s = self.nodes.get_mut(&source.0).expect("caller checked");
+            let s = self.nodes[source as usize]
+                .as_mut()
+                .expect("caller checked");
             std::mem::replace(&mut s.anti_reachable, ReachSet::placeholder())
         };
         {
-            let t = self.nodes.get_mut(&target.0).expect("caller checked");
+            let t = self.nodes[target as usize]
+                .as_mut()
+                .expect("caller checked");
             t.anti_reachable.union_with(&delta);
-            t.anti_reachable.insert(source);
+            t.anti_reachable.insert(source_id);
         }
-        self.nodes
-            .get_mut(&source.0)
+        self.nodes[source as usize]
+            .as_mut()
             .expect("caller checked")
             .anti_reachable = delta;
     }
@@ -477,8 +625,7 @@ impl DependencyGraph {
     /// structure, i.e. `earlier` can reach `later`. Used by Algorithm 5 to skip redundant ww
     /// edges (the Txn0 → Txn3 case of Figure 9).
     pub fn already_connected(&self, earlier: TxnId, later: TxnId) -> bool {
-        self.nodes
-            .get(&later.0)
+        self.node(later)
             .map(|n| n.anti_reachable.contains(earlier))
             .unwrap_or(false)
     }
@@ -486,60 +633,76 @@ impl DependencyGraph {
     /// Marks a pending transaction as committed at `end_ts`. The node stays in the graph (its
     /// dependencies may still matter for future cycles) until pruning removes it.
     pub fn mark_committed(&mut self, id: TxnId, end_ts: SeqNo) {
-        if let Some(node) = self.nodes.get_mut(&id.0) {
-            node.end_ts = Some(end_ts);
+        if let Some(slot) = self.interner.get(id) {
+            if let Some(node) = self.nodes[slot as usize].as_mut() {
+                node.end_ts = Some(end_ts);
+            }
         }
         self.pending.remove(id);
     }
 
     /// Removes a pending transaction entirely (used by adversarial tests and by callers that
     /// drop a transaction after accepting it). Only the removed node's neighbours are visited
-    /// — the predecessor lists make the cleanup O(degree) instead of a full graph scan.
+    /// — the predecessor lists make the cleanup O(degree) instead of a full graph scan — and
+    /// the freed slot returns to the interner's free list for reuse.
     pub fn remove(&mut self, id: TxnId) {
         self.pending.remove(id);
-        let Some(node) = self.nodes.remove(&id.0) else {
+        let Some(slot) = self.interner.release(id) else {
             return;
         };
+        let node = self.nodes[slot as usize]
+            .take()
+            .expect("interned slots are live");
         for p in node.pred {
-            if let Some(p_node) = self.nodes.get_mut(&p.0) {
-                p_node.succ.retain(|s| *s != id);
+            if let Some(p_node) = self.nodes[p as usize].as_mut() {
+                p_node.succ.retain(|s| *s != slot);
             }
         }
         for s in node.succ {
-            if let Some(s_node) = self.nodes.get_mut(&s.0) {
-                s_node.pred.retain(|p| *p != id);
+            if let Some(s_node) = self.nodes[s as usize].as_mut() {
+                s_node.pred.retain(|p| *p != slot);
             }
         }
     }
 
-    /// Exact reachability query over successor edges (DFS). Used by the test oracles, by the
-    /// pending-set topological sort, and to classify bloom false positives.
+    /// Exact reachability query over successor edges (DFS on the epoch-tagged scratch). Used
+    /// by the test oracles and to classify bloom false positives.
     pub fn reaches_exact(&self, from: TxnId, to: TxnId) -> bool {
         if from == to {
             return true;
         }
-        let mut visited: HashSet<u64> = HashSet::new();
-        let mut stack = vec![from];
+        let Some(from_slot) = self.interner.get(from) else {
+            return false;
+        };
+        let Some(to_slot) = self.interner.get(to) else {
+            return false;
+        };
+        let mut scratch = self.scratch.borrow_mut();
+        let Scratch { visited, stack, .. } = &mut *scratch;
+        visited.reset(self.nodes.len());
+        visited.insert(from_slot);
+        stack.clear();
+        stack.push(from_slot);
         while let Some(current) = stack.pop() {
-            if !visited.insert(current.0) {
-                continue;
-            }
-            let Some(node) = self.nodes.get(&current.0) else {
-                continue;
-            };
+            let node = self.nodes[current as usize]
+                .as_ref()
+                .expect("adjacency never dangles");
             for &s in &node.succ {
-                if s == to {
+                if s == to_slot {
                     return true;
                 }
-                stack.push(s);
+                if visited.insert(s) {
+                    stack.push(s);
+                }
             }
         }
         false
     }
 
-    /// Mutable access to a node's age — only exposed to the pruning module and tests.
+    /// Mutable access to a node — only exposed to the pruning/rebuild modules and tests.
     pub(crate) fn node_mut(&mut self, id: TxnId) -> Option<&mut TxnNode> {
-        self.nodes.get_mut(&id.0)
+        let slot = self.interner.get(id)?;
+        self.nodes[slot as usize].as_mut()
     }
 
     /// Internal: removes a set of node ids and cleans dangling edge references. Cleanup only
@@ -551,21 +714,20 @@ impl DependencyGraph {
         }
         self.pending.remove_all(ids);
         for id in ids {
-            let Some(node) = self.nodes.remove(id) else {
+            let Some(slot) = self.interner.release(TxnId(*id)) else {
                 continue;
             };
+            let node = self.nodes[slot as usize]
+                .take()
+                .expect("interned slots are live");
             for p in node.pred {
-                if !ids.contains(&p.0) {
-                    if let Some(p_node) = self.nodes.get_mut(&p.0) {
-                        p_node.succ.retain(|s| s.0 != *id);
-                    }
+                if let Some(p_node) = self.nodes[p as usize].as_mut() {
+                    p_node.succ.retain(|s| *s != slot);
                 }
             }
             for s in node.succ {
-                if !ids.contains(&s.0) {
-                    if let Some(s_node) = self.nodes.get_mut(&s.0) {
-                        s_node.pred.retain(|p| p.0 != *id);
-                    }
+                if let Some(s_node) = self.nodes[s as usize].as_mut() {
+                    s_node.pred.retain(|p| *p != slot);
                 }
             }
         }
@@ -596,19 +758,17 @@ mod tests {
     /// never dangles.
     fn assert_edge_mirror(g: &DependencyGraph) {
         for node in g.nodes() {
-            for s in &node.succ {
-                let s_node = g.node(*s).expect("dangling successor");
+            for s in g.successors(node.id) {
                 assert!(
-                    s_node.pred.contains(&node.id),
+                    g.predecessors(s).contains(&node.id),
                     "edge {:?} → {:?} missing from pred mirror",
                     node.id,
                     s
                 );
             }
-            for p in &node.pred {
-                let p_node = g.node(*p).expect("dangling predecessor");
+            for p in g.predecessors(node.id) {
                 assert!(
-                    p_node.succ.contains(&node.id),
+                    g.successors(p).contains(&node.id),
                     "edge {:?} → {:?} missing from succ list",
                     p,
                     node.id
@@ -624,8 +784,8 @@ mod tests {
         g.insert_pending(spec(2, 0), &[TxnId(1)], &[], 1);
 
         assert_eq!(g.len(), 2);
-        assert_eq!(g.node(TxnId(1)).unwrap().succ, vec![TxnId(2)]);
-        assert_eq!(g.node(TxnId(2)).unwrap().pred, vec![TxnId(1)]);
+        assert_eq!(g.successors(TxnId(1)), vec![TxnId(2)]);
+        assert_eq!(g.predecessors(TxnId(2)), vec![TxnId(1)]);
         assert!(g.node(TxnId(2)).unwrap().anti_reachable.contains(TxnId(1)));
         assert!(g.reaches_exact(TxnId(1), TxnId(2)));
         assert!(!g.reaches_exact(TxnId(2), TxnId(1)));
@@ -738,8 +898,8 @@ mod tests {
         assert!(g.would_close_cycle(&[TxnId(99)], &[TxnId(1)]).is_acyclic());
         let report = g.insert_pending(spec(2, 0), &[TxnId(77)], &[TxnId(88)], 1);
         assert_eq!(report.hops, 0);
-        assert!(g.node(TxnId(2)).unwrap().succ.is_empty());
-        assert!(g.node(TxnId(2)).unwrap().pred.is_empty());
+        assert!(g.successors(TxnId(2)).is_empty());
+        assert!(g.predecessors(TxnId(2)).is_empty());
     }
 
     #[test]
@@ -760,7 +920,7 @@ mod tests {
         g.insert_pending(spec(2, 0), &[TxnId(1)], &[], 1);
         g.remove(TxnId(2));
         assert!(!g.contains(TxnId(2)));
-        assert!(g.node(TxnId(1)).unwrap().succ.is_empty());
+        assert!(g.successors(TxnId(1)).is_empty());
         assert_eq!(g.pending_len(), 1);
     }
 
@@ -771,8 +931,60 @@ mod tests {
         g.insert_pending(spec(2, 0), &[TxnId(1)], &[], 1);
         g.insert_pending(spec(3, 0), &[TxnId(2)], &[], 1);
         g.remove(TxnId(2));
-        assert!(g.node(TxnId(1)).unwrap().succ.is_empty());
-        assert!(g.node(TxnId(3)).unwrap().pred.is_empty());
+        assert!(g.successors(TxnId(1)).is_empty());
+        assert!(g.predecessors(TxnId(3)).is_empty());
+        assert_edge_mirror(&g);
+    }
+
+    /// Regression test (PR 3 review): re-inserting a still-tracked id must be a no-op.
+    /// Overwriting the slot used to leave the old incarnation's neighbour adjacency pointing
+    /// at the slot, which after removal either panicked traversals (vacant slot) or — once the
+    /// free list recycled it — silently wired the stale edge to an unrelated transaction.
+    /// The path is reachable from the orderer: a replayed consensus delivery of a transaction
+    /// that was cut into a block but not yet pruned.
+    #[test]
+    fn reinserting_a_tracked_id_is_a_noop() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        g.insert_pending(spec(0, 0), &[], &[], 1);
+        g.insert_pending(spec(1, 0), &[], &[], 1);
+        g.insert_pending(spec(2, 0), &[TxnId(1)], &[], 1);
+        g.mark_committed(TxnId(2), SeqNo::new(1, 1));
+
+        // Replay of txn 2 (still tracked, no longer pending): must change nothing.
+        let report = g.insert_pending(spec(2, 0), &[], &[], 2);
+        assert_eq!(report, InsertReport::default());
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.pending_ids(), vec![TxnId(0), TxnId(1)]);
+        assert!(!g.node(TxnId(2)).unwrap().is_pending());
+        assert_eq!(g.successors(TxnId(1)), vec![TxnId(2)]);
+        assert_eq!(g.predecessors(TxnId(2)), vec![TxnId(1)]);
+        assert_edge_mirror(&g);
+
+        // The reviewer's corruption scenario: remove the replayed node, then let a fresh
+        // transaction recycle its slot — no panic, no phantom reachability.
+        g.remove(TxnId(2));
+        assert!(g.successors(TxnId(1)).is_empty());
+        g.insert_pending(spec(3, 0), &[], &[], 2);
+        assert!(!g.reaches_exact(TxnId(1), TxnId(0)));
+        assert!(!g.reaches_exact(TxnId(1), TxnId(3)));
+        assert_eq!(g.node(TxnId(3)).unwrap().anti_reachable.bloom_popcount(), 0);
+        assert_edge_mirror(&g);
+    }
+
+    /// Slot recycling must never leak edges from the slot's previous occupant: a new
+    /// transaction that inherits a freed slot starts with clean adjacency and a clean filter.
+    #[test]
+    fn recycled_slots_start_clean() {
+        let mut g = DependencyGraph::new(cfg_exact());
+        g.insert_pending(spec(1, 0), &[], &[], 1);
+        g.insert_pending(spec(2, 0), &[TxnId(1)], &[], 1);
+        g.remove(TxnId(2));
+        // Txn 3 reuses txn 2's slot (free-list LIFO) but has no relation to txn 1.
+        g.insert_pending(spec(3, 0), &[], &[], 1);
+        assert!(g.successors(TxnId(1)).is_empty());
+        assert!(g.predecessors(TxnId(3)).is_empty());
+        assert_eq!(g.node(TxnId(3)).unwrap().anti_reachable.bloom_popcount(), 0);
+        assert!(!g.reaches_exact(TxnId(1), TxnId(3)));
         assert_edge_mirror(&g);
     }
 
@@ -787,8 +999,8 @@ mod tests {
         let victims: HashSet<u64> = [2u64, 3].into_iter().collect();
         g.remove_many(&victims);
         assert_eq!(g.len(), 2);
-        assert_eq!(g.node(TxnId(1)).unwrap().succ, vec![TxnId(4)]);
-        assert_eq!(g.node(TxnId(4)).unwrap().pred, vec![TxnId(1)]);
+        assert_eq!(g.successors(TxnId(1)), vec![TxnId(4)]);
+        assert_eq!(g.predecessors(TxnId(4)), vec![TxnId(1)]);
         assert_eq!(g.pending_ids(), vec![TxnId(1), TxnId(4)]);
         assert_edge_mirror(&g);
     }
@@ -833,10 +1045,10 @@ mod tests {
         g.add_edge_with_union(TxnId(1), TxnId(2));
         assert!(g.already_connected(TxnId(1), TxnId(2)));
         assert!(g.reaches_exact(TxnId(1), TxnId(2)));
-        assert_eq!(g.node(TxnId(2)).unwrap().pred, vec![TxnId(1)]);
+        assert_eq!(g.predecessors(TxnId(2)), vec![TxnId(1)]);
         // Re-adding the same edge does not duplicate the mirror entry.
         g.add_edge_with_union(TxnId(1), TxnId(2));
-        assert_eq!(g.node(TxnId(2)).unwrap().pred, vec![TxnId(1)]);
+        assert_eq!(g.predecessors(TxnId(2)), vec![TxnId(1)]);
         // Self edges and unknown nodes are no-ops.
         g.add_edge_with_union(TxnId(1), TxnId(1));
         g.add_edge_with_union(TxnId(9), TxnId(1));

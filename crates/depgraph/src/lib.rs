@@ -5,22 +5,33 @@
 //!
 //! * [`bloom`] — bloom filters with O(words) union and the two-filter relay that keeps the
 //!   false-positive rate bounded over a long-running orderer.
-//! * [`graph`] — the dependency graph itself: successor edges, per-node `anti_reachable`
-//!   reachability sets, Algorithm 4's reachability maintenance, and the pair-wise cycle test
-//!   used by Algorithm 2.
-//! * [`topo`] — deterministic topological ordering of the pending set (Algorithm 3, line 1)
-//!   and topologically-ordered traversal used by Algorithm 5.
+//! * [`graph`] — the dependency graph itself: slab node storage over interned slots,
+//!   successor edges, per-node `anti_reachable` reachability sets, Algorithm 4's reachability
+//!   maintenance, and the pair-wise cycle test used by Algorithm 2.
+//! * [`interner`] — `TxnId` → dense `u32` slot interning with a free list; turns every hot
+//!   path's hash lookups into `Vec` indexing.
+//! * [`visited`] — epoch-tagged visited sets: O(1) clearing, allocation-free traversals.
+//! * [`topo`] — deterministic topological ordering of the pending set (Algorithm 3, line 1) in
+//!   O(V + E) bitset-union work, and topologically-ordered traversal used by Algorithm 5.
 //! * [`cycle`] — exact (non-probabilistic) cycle detection used as a test oracle and for the
 //!   bloom-vs-exact ablation.
 //! * [`prune`] — `max_span` snapshot thresholds and age-based pruning (Section 4.6).
+//! * [`reference`] — the retained naive-DFS implementation, kept as the equivalence oracle
+//!   and bench baseline for the dense engine. Not for production use.
 
 pub mod bloom;
 pub mod cycle;
 pub mod graph;
+pub mod interner;
 pub mod prune;
 pub mod rebuild;
+pub mod reference;
 pub mod topo;
+pub mod visited;
 
 pub use bloom::{BloomFilter, RelayBloom};
 pub use graph::{CycleCheck, DependencyGraph, InsertReport, PendingTxnSpec, ReachSet, TxnNode};
+pub use interner::Interner;
 pub use prune::snapshot_threshold;
+pub use reference::NaiveGraph;
+pub use visited::EpochVisited;

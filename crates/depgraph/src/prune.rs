@@ -104,8 +104,8 @@ mod tests {
         assert!(g.contains(TxnId(3)));
         // No dangling successor references remain anywhere.
         for node in g.nodes() {
-            for s in &node.succ {
-                assert!(g.contains(*s), "dangling successor {s:?}");
+            for s in g.successors(node.id) {
+                assert!(g.contains(s), "dangling successor {s:?}");
             }
         }
     }

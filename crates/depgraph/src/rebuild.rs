@@ -38,8 +38,7 @@ impl DependencyGraph {
         // (itself plus everything that reaches it) into each successor.
         let order = self.reachable_in_topo_order(&ids);
         for &from in &order {
-            let succs: Vec<TxnId> = self.node(from).map(|n| n.succ.clone()).unwrap_or_default();
-            for to in succs {
+            for to in self.successors(from) {
                 self.propagate_reachability(from, to);
             }
         }

@@ -8,10 +8,23 @@
 //! Determinism matters: every honest orderer must produce the same order from the same input
 //! (the agreement property of Section 3.5). Ties are therefore broken by arrival order, which
 //! is itself replicated because it is derived from the consensus stream.
+//!
+//! The closure is computed in O(V + E) set-union work instead of one DFS per pending
+//! transaction: a single postorder sweep over the sub-graph reachable from the pending set
+//! unions dense pending-bitsets bottom-up (each node's "reachable pending set" is the OR of
+//! its successors' sets plus the pending successors themselves), and Kahn's algorithm then
+//! runs on a `BinaryHeap` keyed by arrival index instead of a shift-on-pop sorted vector.
+//! The result is bit-for-bit the order the per-pair DFS produced (same closure edges, same
+//! tie-break), which the `equivalence` proptest suite pins against the retained naive
+//! reference implementation.
 
 use crate::graph::DependencyGraph;
 use eov_common::txn::TxnId;
-use std::collections::{HashMap, HashSet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sentinel for "slot is not a pending transaction" in the dense arrival-index table.
+const NOT_PENDING: u32 = u32::MAX;
 
 impl DependencyGraph {
     /// Returns the pending transactions in a topological order consistent with reachability in
@@ -22,92 +35,132 @@ impl DependencyGraph {
     /// progress deterministically.
     pub fn topo_sort_pending(&self) -> Vec<TxnId> {
         let pending = self.pending_ids();
-        if pending.len() <= 1 {
+        let p = pending.len();
+        if p <= 1 {
             return pending;
         }
-        let index_of: HashMap<TxnId, usize> =
-            pending.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+        let capacity = self.capacity();
 
-        // Edge a → b between pending transactions iff a reaches b through the graph.
-        // Reachability is computed exactly (DFS over successor edges); the bloom filters are
-        // only used for the arrival-time cycle test where false positives merely over-abort.
-        let mut edges: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
-        let mut indegree: HashMap<TxnId, usize> = pending.iter().map(|t| (*t, 0)).collect();
-        for &a in &pending {
-            let reachable = self.pending_reachable_from(a, &index_of);
-            for b in reachable {
-                edges.entry(a).or_default().push(b);
-                *indegree.get_mut(&b).expect("pending node") += 1;
+        // Dense side tables over the slot space: arrival index per pending slot.
+        let mut arrival: Vec<u32> = vec![NOT_PENDING; capacity];
+        let mut pending_slots: Vec<u32> = Vec::with_capacity(p);
+        for (i, id) in pending.iter().enumerate() {
+            let slot = self.slot_of(*id).expect("pending ids are tracked");
+            arrival[slot as usize] = i as u32;
+            pending_slots.push(slot);
+        }
+
+        // Postorder DFS over everything reachable from the pending set (committed
+        // intermediaries included). On a DAG, every node's successors finish before it does.
+        let mut postorder: Vec<u32> = Vec::with_capacity(p);
+        {
+            let mut scratch = self.scratch().borrow_mut();
+            scratch.visited.reset(capacity);
+            let mut dfs: Vec<(u32, u32)> = Vec::new();
+            for &root in &pending_slots {
+                if !scratch.visited.insert(root) {
+                    continue;
+                }
+                dfs.push((root, 0));
+                while let Some((slot, child_idx)) = dfs.last_mut() {
+                    let node = self.node_at(*slot).expect("visited slots are live");
+                    if let Some(&child) = node.succ.get(*child_idx as usize) {
+                        *child_idx += 1;
+                        if scratch.visited.insert(child) {
+                            dfs.push((child, 0));
+                        }
+                    } else {
+                        postorder.push(*slot);
+                        dfs.pop();
+                    }
+                }
             }
         }
 
-        // Kahn's algorithm with arrival-order tie-breaking: among ready nodes always pick the
-        // earliest-arrived one.
-        let mut ready: Vec<TxnId> = pending
-            .iter()
-            .filter(|t| indegree[t] == 0)
-            .copied()
-            .collect();
-        ready.sort_by_key(|t| index_of[t]);
+        // Bottom-up closure: row i (a bitset over arrival indices) holds the pending
+        // transactions reachable from postorder[i]. Successors precede their parents in a
+        // DAG's postorder, so each row is the OR of already-final successor rows plus the
+        // pending successors' own bits — every edge is visited exactly once.
+        let words = p.div_ceil(64);
+        let mut row_of: Vec<u32> = vec![NOT_PENDING; capacity];
+        for (i, &slot) in postorder.iter().enumerate() {
+            row_of[slot as usize] = i as u32;
+        }
+        let mut reach: Vec<u64> = vec![0u64; postorder.len() * words];
+        for (i, &slot) in postorder.iter().enumerate() {
+            let node = self.node_at(slot).expect("visited slots are live");
+            let (done, rest) = reach.split_at_mut(i * words);
+            let row = &mut rest[..words];
+            for &s in &node.succ {
+                let s_row = row_of[s as usize] as usize;
+                // `s_row < i` always holds on a DAG; the guard only matters for the
+                // defensive-cyclic case, where the fallback below still emits everything.
+                if s_row < i {
+                    for (w, src) in row.iter_mut().zip(&done[s_row * words..]) {
+                        *w |= src;
+                    }
+                }
+                let a = arrival[s as usize];
+                if a != NOT_PENDING {
+                    row[(a / 64) as usize] |= 1u64 << (a % 64);
+                }
+            }
+        }
 
-        let mut order = Vec::with_capacity(pending.len());
-        let mut emitted: HashSet<TxnId> = HashSet::new();
-        while let Some(&next) = ready.first() {
-            ready.remove(0);
-            order.push(next);
-            emitted.insert(next);
-            if let Some(succs) = edges.get(&next) {
-                for &b in succs {
-                    let d = indegree.get_mut(&b).expect("pending node");
+        // Closure in-degrees: pending `b` has one incoming closure edge per pending `a` that
+        // reaches it.
+        let mut indegree: Vec<u32> = vec![0; p];
+        for &slot in &pending_slots {
+            let row = &reach[row_of[slot as usize] as usize * words..][..words];
+            for (wi, &word) in row.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let b = wi * 64 + bits.trailing_zeros() as usize;
+                    indegree[b] += 1;
+                    bits &= bits - 1;
+                }
+            }
+        }
+
+        // Kahn's algorithm with arrival-order tie-breaking: among ready transactions always
+        // emit the earliest-arrived one (min-heap on arrival index).
+        let mut heap: BinaryHeap<Reverse<u32>> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == 0)
+            .map(|(i, _)| Reverse(i as u32))
+            .collect();
+        let mut order: Vec<TxnId> = Vec::with_capacity(p);
+        let mut emitted = vec![false; p];
+        while let Some(Reverse(next)) = heap.pop() {
+            emitted[next as usize] = true;
+            order.push(pending[next as usize]);
+            let slot = pending_slots[next as usize];
+            let row = &reach[row_of[slot as usize] as usize * words..][..words];
+            for (wi, &word) in row.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let b = wi * 64 + bits.trailing_zeros() as usize;
+                    let d = &mut indegree[b];
                     *d -= 1;
                     if *d == 0 {
-                        // Insert keeping `ready` sorted by arrival index.
-                        let pos = ready
-                            .binary_search_by_key(&index_of[&b], |t| index_of[t])
-                            .unwrap_or_else(|p| p);
-                        ready.insert(pos, b);
+                        heap.push(Reverse(b as u32));
                     }
+                    bits &= bits - 1;
                 }
             }
         }
 
         // Defensive fallback: if anything was left (exact cycle — should be impossible), append
         // it in arrival order so every pending transaction still receives a slot.
-        if order.len() < pending.len() {
-            for &t in &pending {
-                if !emitted.contains(&t) {
+        if order.len() < p {
+            for (i, &t) in pending.iter().enumerate() {
+                if !emitted[i] {
                     order.push(t);
                 }
             }
         }
         order
-    }
-
-    /// The set of *pending* transactions reachable from `from` (excluding `from` itself),
-    /// walking successor edges through committed and pending nodes alike.
-    fn pending_reachable_from(
-        &self,
-        from: TxnId,
-        pending_index: &HashMap<TxnId, usize>,
-    ) -> Vec<TxnId> {
-        let mut result = Vec::new();
-        let mut visited: HashSet<u64> = HashSet::new();
-        let mut stack = vec![from];
-        visited.insert(from.0);
-        while let Some(current) = stack.pop() {
-            let Some(node) = self.node(current) else {
-                continue;
-            };
-            for &s in &node.succ {
-                if visited.insert(s.0) {
-                    if s != from && pending_index.contains_key(&s) {
-                        result.push(s);
-                    }
-                    stack.push(s);
-                }
-            }
-        }
-        result
     }
 
     /// Every transaction reachable from `roots` (roots excluded unless re-reachable), returned
@@ -116,27 +169,32 @@ impl DependencyGraph {
     pub fn reachable_in_topo_order(&self, roots: &[TxnId]) -> Vec<TxnId> {
         // Iterative DFS with post-order collection; reversing the post-order of a DAG yields a
         // topological order. The reachable sub-graph is acyclic because the whole graph is.
-        let mut visited: HashSet<u64> = HashSet::new();
+        // The visited set is the reusable epoch scratch — no per-call allocation beyond the
+        // result itself.
+        let mut scratch = self.scratch().borrow_mut();
+        scratch.visited.reset(self.capacity());
         let mut postorder: Vec<TxnId> = Vec::new();
+        let mut dfs: Vec<(u32, u32)> = Vec::new();
 
         for &root in roots {
-            if visited.contains(&root.0) || !self.contains(root) {
+            let Some(root_slot) = self.slot_of(root) else {
+                continue;
+            };
+            if !scratch.visited.insert(root_slot) {
                 continue;
             }
-            // Stack of (node, next-child-index).
-            let mut stack: Vec<(TxnId, usize)> = vec![(root, 0)];
-            visited.insert(root.0);
-            while let Some((current, child_idx)) = stack.last_mut() {
-                let node = self.node(*current).expect("visited nodes exist");
-                if let Some(&child) = node.succ.get(*child_idx) {
+            // Stack of (slot, next-child-index).
+            dfs.push((root_slot, 0));
+            while let Some((slot, child_idx)) = dfs.last_mut() {
+                let node = self.node_at(*slot).expect("visited slots are live");
+                if let Some(&child) = node.succ.get(*child_idx as usize) {
                     *child_idx += 1;
-                    if !visited.contains(&child.0) && self.contains(child) {
-                        visited.insert(child.0);
-                        stack.push((child, 0));
+                    if scratch.visited.insert(child) {
+                        dfs.push((child, 0));
                     }
                 } else {
-                    postorder.push(*current);
-                    stack.pop();
+                    postorder.push(self.id_at(*slot));
+                    dfs.pop();
                 }
             }
         }
@@ -212,6 +270,26 @@ mod tests {
         assert!(g.topo_sort_pending().is_empty());
         g.insert_pending(spec(1), &[], &[], 1);
         assert_eq!(g.topo_sort_pending(), vec![TxnId(1)]);
+    }
+
+    /// More pending transactions than one bitset word, with dependencies crossing the word
+    /// boundary — exercises the multi-word OR path of the closure sweep.
+    #[test]
+    fn topo_handles_more_than_64_pending_transactions() {
+        let mut g = exact_graph();
+        // 100 transactions in a chain: 99 → 98 → ... → 0 by id, inserted in reverse order so
+        // arrival order disagrees with dependency order everywhere.
+        for id in (0..100u64).rev() {
+            let succs: Vec<TxnId> = if id == 99 {
+                vec![]
+            } else {
+                vec![TxnId(id + 1)]
+            };
+            g.insert_pending(spec(id), &[], &succs, 1);
+        }
+        let order = g.topo_sort_pending();
+        let expected: Vec<TxnId> = (0..100u64).map(TxnId).collect();
+        assert_eq!(order, expected);
     }
 
     #[test]

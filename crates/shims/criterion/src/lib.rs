@@ -14,6 +14,13 @@ const BUDGET: Duration = Duration::from_millis(40);
 /// Iteration cap per benchmark, for very fast bodies.
 const MAX_ITERS: u64 = 1_000;
 
+/// Whether `CRITERION_SMOKE` requests single-iteration smoke mode: every benchmark body runs
+/// exactly once (after the warm-up), so CI can prove the bench binaries still compile and
+/// execute without paying for measurement. Any value other than `0` enables it.
+fn smoke_mode() -> bool {
+    std::env::var_os("CRITERION_SMOKE").is_some_and(|v| v != "0")
+}
+
 /// Top-level benchmark driver.
 #[derive(Default)]
 pub struct Criterion {}
@@ -124,15 +131,21 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times repeated calls of `routine` under the shim's fixed budget.
+    /// Times repeated calls of `routine` under the shim's fixed budget (or exactly once in
+    /// `CRITERION_SMOKE` mode).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         black_box(routine()); // warm-up, excluded from timing
+        let (max_iters, budget) = if smoke_mode() {
+            (1, Duration::ZERO)
+        } else {
+            (MAX_ITERS, BUDGET)
+        };
         let start = Instant::now();
         let mut iters = 0u64;
-        while iters < MAX_ITERS {
+        while iters < max_iters {
             black_box(routine());
             iters += 1;
-            if start.elapsed() >= BUDGET {
+            if start.elapsed() >= budget {
                 break;
             }
         }

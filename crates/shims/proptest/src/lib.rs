@@ -118,6 +118,39 @@ pub mod strategy {
     tuple_strategy!(A.0, B.1, C.2, D.3);
     tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
     tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// Weighted union of boxed strategies over one value type — what the `prop_oneof!` macro
+    /// builds. Arm weights mirror upstream's `w => strategy` syntax.
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total_weight: u32,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if no arm is given or every weight is zero.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total_weight = arms.iter().map(|(w, _)| *w).sum();
+            assert!(
+                total_weight > 0,
+                "prop_oneof! needs a positive total weight"
+            );
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total_weight);
+            for (weight, strat) in &self.arms {
+                if pick < *weight {
+                    return strat.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weights sum to total_weight");
+        }
+    }
 }
 
 pub mod collection {
@@ -257,7 +290,32 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted choice between strategies yielding one value type, mirroring upstream's
+/// `prop_oneof![w1 => s1, s2, ...]` (arms without a weight default to 1; weighted and
+/// unweighted arms may be mixed).
+#[macro_export]
+macro_rules! prop_oneof {
+    (@arms [$($acc:tt)*]) => {
+        $crate::strategy::Union::new(vec![$($acc)*])
+    };
+    (@arms [$($acc:tt)*] $weight:literal => $strat:expr $(, $($rest:tt)*)?) => {
+        $crate::prop_oneof!(@arms [
+            $($acc)*
+            ($weight, Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>),
+        ] $($($rest)*)?)
+    };
+    (@arms [$($acc:tt)*] $strat:expr $(, $($rest:tt)*)?) => {
+        $crate::prop_oneof!(@arms [
+            $($acc)*
+            (1u32, Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>),
+        ] $($($rest)*)?)
+    };
+    ($($arms:tt)+) => {
+        $crate::prop_oneof!(@arms [] $($arms)+)
+    };
 }
 
 /// Asserts a condition inside a `proptest!` body.
@@ -339,6 +397,22 @@ mod tests {
         #[test]
         fn index_projects_into_range(idx in any::<prop::sample::Index>(), len in 1usize..50) {
             prop_assert!(idx.index(len) < len);
+        }
+
+        #[test]
+        fn oneof_draws_from_every_weighted_arm(
+            picks in prop::collection::vec(
+                prop_oneof![
+                    3 => (0u64..10).prop_map(|v| v),
+                    1 => (100u64..110).prop_map(|v| v),
+                    Just(555u64),
+                ],
+                40..60,
+            )
+        ) {
+            prop_assert!(picks
+                .iter()
+                .all(|&v| v < 10u64 || (100u64..110).contains(&v) || v == 555));
         }
     }
 

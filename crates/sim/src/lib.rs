@@ -19,6 +19,6 @@ mod pipeline;
 pub mod profiles;
 pub mod runner;
 
-pub use metrics::SimReport;
+pub use metrics::{FormationTiming, SimReport};
 pub use profiles::PipelineProfile;
 pub use runner::{SimulationConfig, Simulator};

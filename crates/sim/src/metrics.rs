@@ -4,6 +4,47 @@ use eov_baselines::api::SystemKind;
 use eov_common::abort::AbortReason;
 use std::collections::HashMap;
 
+/// Wall-clock statistics of the per-block formation step (`cut_block`), measured — not
+/// modelled — on the driver thread. This is the end-to-end view of the dependency-graph
+/// topological sort + ww restoration + persistence + pruning; the p99 is what bounds the
+/// orderer's tail stall when a block is cut under contention.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FormationTiming {
+    /// Number of blocks whose formation was measured.
+    pub blocks: u64,
+    /// Total formation wall-clock across the run, in milliseconds.
+    pub total_ms: f64,
+    /// Median per-block formation time, in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-block formation time, in microseconds.
+    pub p99_us: f64,
+}
+
+impl FormationTiming {
+    /// Builds the summary from raw per-block samples in microseconds. The slice is sorted in
+    /// place; an empty slice yields the zero summary.
+    pub fn from_samples(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return FormationTiming::default();
+        }
+        samples.sort_unstable();
+        let total_us: u128 = samples.iter().map(|&s| s as u128).sum();
+        FormationTiming {
+            blocks: samples.len() as u64,
+            total_ms: total_us as f64 / 1_000.0,
+            p50_us: percentile(samples, 0.50),
+            p99_us: percentile(samples, 0.99),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice, `q` in `[0, 1]`.
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
+}
+
 /// The result of one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimReport {
@@ -37,6 +78,8 @@ pub struct SimReport {
     /// transactions a Strong-Serializability system would have aborted); highlighted in
     /// Figure 15 as "FastFabric#-antiRW".
     pub committed_with_anti_rw: u64,
+    /// Measured per-block formation wall-clock (p50/p99/total) on this machine.
+    pub formation: FormationTiming,
 }
 
 impl SimReport {
@@ -128,6 +171,7 @@ mod tests {
             measured_reorder_ms_per_block: 0.0,
             measured_arrival_us_per_txn: 0.0,
             committed_with_anti_rw: 0,
+            formation: FormationTiming::default(),
         }
     }
 
@@ -155,6 +199,28 @@ mod tests {
             .unwrap()
             .1;
         assert!((ww - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formation_timing_summarises_samples() {
+        let mut samples: Vec<u64> = (1..=100).rev().collect(); // 100, 99, ..., 1 µs
+        let timing = FormationTiming::from_samples(&mut samples);
+        assert_eq!(timing.blocks, 100);
+        assert_eq!(timing.p50_us, 50.0);
+        assert_eq!(timing.p99_us, 99.0);
+        assert!((timing.total_ms - 5.05).abs() < 1e-9); // 5050 µs
+    }
+
+    #[test]
+    fn formation_timing_handles_empty_and_singleton() {
+        assert_eq!(
+            FormationTiming::from_samples(&mut []),
+            FormationTiming::default()
+        );
+        let timing = FormationTiming::from_samples(&mut [7]);
+        assert_eq!(timing.blocks, 1);
+        assert_eq!(timing.p50_us, 7.0);
+        assert_eq!(timing.p99_us, 7.0);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! `pipeline_determinism` integration tests.
 
 use crate::events::{ms, Event, EventQueue, SimTime};
-use crate::metrics::SimReport;
+use crate::metrics::{FormationTiming, SimReport};
 use crate::pipeline::{CommitStage, EndorseStage};
 use crate::profiles::PipelineProfile;
 use eov_baselines::api::{ConcurrencyControl, SystemKind};
@@ -159,6 +159,8 @@ impl Simulator {
         let mut block_span_sum: u64 = 0;
         let mut validation_aborts: HashMap<AbortReason, u64> = HashMap::new();
         let mut submitted_at_by_txn: HashMap<TxnId, SimTime> = HashMap::new();
+        // Measured (wall-clock) per-block formation time in µs, one sample per cut block.
+        let mut formation_us: Vec<u64> = Vec::new();
         let mut validator_free_at: SimTime = 0;
         // The chain height at the driver's *logical* time. In concurrent mode the committer
         // thread may have applied further blocks physically; the driver must never observe
@@ -267,6 +269,7 @@ impl Simulator {
                                 config.system,
                                 &mut blocks_formed,
                                 &mut submitted_at_by_txn,
+                                &mut formation_us,
                                 &mut queue,
                                 now,
                             );
@@ -285,6 +288,7 @@ impl Simulator {
                             config.system,
                             &mut blocks_formed,
                             &mut submitted_at_by_txn,
+                            &mut formation_us,
                             &mut queue,
                             now,
                         );
@@ -389,6 +393,7 @@ impl Simulator {
             measured_arrival_us_per_txn: cc.arrival_time().as_secs_f64() * 1_000_000.0
                 / offered.max(1) as f64,
             committed_with_anti_rw,
+            formation: FormationTiming::from_samples(&mut formation_us),
         };
         (report, ledger)
     }
@@ -431,7 +436,8 @@ impl Simulator {
     }
 
     /// Cuts a block from the CC's pending set and schedules its delivery after the modelled
-    /// reordering cost.
+    /// reordering cost. The *measured* wall-clock of the formation call is recorded into
+    /// `formation_us` (one sample per non-empty block) — the simulated delay stays modelled.
     #[allow(clippy::too_many_arguments)]
     fn cut_block(
         cc: &mut Box<dyn ConcurrencyControl>,
@@ -439,13 +445,21 @@ impl Simulator {
         system: SystemKind,
         blocks_formed: &mut u64,
         submitted_at_by_txn: &mut HashMap<TxnId, SimTime>,
+        formation_us: &mut Vec<u64>,
         queue: &mut EventQueue,
         now: SimTime,
     ) {
+        let formation_started = std::time::Instant::now();
         let txns = cc.cut_block();
         if txns.is_empty() {
             return;
         }
+        formation_us.push(
+            formation_started
+                .elapsed()
+                .as_micros()
+                .min(u64::MAX as u128) as u64,
+        );
         *blocks_formed += 1;
         let submitted_at: Vec<SimTime> = txns
             .iter()
