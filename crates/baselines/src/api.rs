@@ -11,7 +11,7 @@ use eov_common::abort::AbortReason;
 use eov_common::config::CcConfig;
 use eov_common::txn::{CommitDecision, Transaction, TxnStatus};
 use eov_common::version::SeqNo;
-use eov_vstore::MultiVersionStore;
+use eov_vstore::{StateRead, StateStore};
 use fabricsharp_core::pipeline::CommitOutcome;
 use std::collections::HashSet;
 use std::time::Duration;
@@ -136,8 +136,8 @@ pub trait ConcurrencyControl: Send {
 /// transactions earlier in the same block. Valid transactions immediately apply their writes
 /// to the store at version `(block_no, slot)`. The store's height advances to `block_no`
 /// regardless, so later snapshots exist even for blocks whose transactions all aborted.
-pub fn mvcc_validate_and_apply(
-    store: &mut MultiVersionStore,
+pub fn mvcc_validate_and_apply<S: StateStore>(
+    store: &mut S,
     block_no: u64,
     txns: &[Transaction],
 ) -> Vec<TxnStatus> {
@@ -170,8 +170,8 @@ pub fn mvcc_validate_and_apply(
 
 /// Applies every transaction of a block without validation (used for FabricSharp, whose
 /// ordering already guarantees serializability). Writes are installed in block order.
-pub fn apply_without_validation(
-    store: &mut MultiVersionStore,
+pub fn apply_without_validation<S: StateStore>(
+    store: &mut S,
     block_no: u64,
     txns: &[Transaction],
 ) -> Vec<TxnStatus> {
@@ -192,7 +192,7 @@ pub fn apply_without_validation(
 /// the latest — i.e. commits that tolerate an anti-rw dependency. Evaluated serially in block
 /// order against the pre-block state plus earlier in-block writes, exactly like the MVCC check
 /// would be. Feeds the Figure 5 "commits a Strong-Serializability system would abort" metric.
-pub fn count_anti_rw_commits(store: &MultiVersionStore, txns: &[Transaction]) -> u64 {
+pub fn count_anti_rw_commits<S: StateRead>(store: &S, txns: &[Transaction]) -> u64 {
     let mut in_block_writes: HashSet<&str> = HashSet::new();
     let mut count = 0;
     for txn in txns {
@@ -217,8 +217,8 @@ pub fn count_anti_rw_commits(store: &MultiVersionStore, txns: &[Transaction]) ->
 /// The complete validator/committer step for one block, shared by the inline and threaded
 /// commit stages: counts anti-rw-tolerant commits against the pre-block state, then either
 /// MVCC-validates (the baselines) or applies unconditionally (FabricSharp).
-pub fn commit_block(
-    store: &mut MultiVersionStore,
+pub fn commit_block<S: StateStore>(
+    store: &mut S,
     block_no: u64,
     txns: &[Transaction],
     needs_validation: bool,
@@ -239,6 +239,7 @@ pub fn commit_block(
 mod tests {
     use super::*;
     use eov_common::rwset::{Key, Value};
+    use eov_vstore::MultiVersionStore;
 
     fn k(s: &str) -> Key {
         Key::new(s)

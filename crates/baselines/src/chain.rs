@@ -15,8 +15,7 @@ use eov_common::config::CcConfig;
 use eov_common::rwset::{Key, Value};
 use eov_common::txn::{CommitDecision, Transaction, TxnId, TxnStatus};
 use eov_ledger::{Block, Ledger};
-use eov_vstore::MultiVersionStore;
-use eov_vstore::SnapshotManager;
+use eov_vstore::{SnapshotManager, StateRead, StateStore, StoreBackend};
 use fabricsharp_core::endorser::{SimulationContext, SnapshotEndorser};
 
 /// Outcome of sealing one block.
@@ -34,7 +33,7 @@ pub struct BlockReport {
 /// A single-node EOV blockchain driven synchronously.
 pub struct SimpleChain {
     kind: SystemKind,
-    store: MultiVersionStore,
+    store: StoreBackend,
     ledger: Ledger,
     endorser: SnapshotEndorser,
     cc: Box<dyn ConcurrencyControl>,
@@ -51,12 +50,27 @@ impl SimpleChain {
         Self::with_cc_config(kind, CcConfig::default())
     }
 
-    /// Creates a chain with an explicit concurrency-control configuration.
+    /// Creates a chain whose state store, indices and dependency graph are partitioned across
+    /// `store_shards` key-space shards (`0` = the unsharded reference). Ledger outcomes are
+    /// bit-identical for every shard count; the knob exists so tests and benches can exercise
+    /// the sharded engine through the same facade.
+    pub fn with_store_shards(kind: SystemKind, store_shards: usize) -> Self {
+        Self::with_cc_config(
+            kind,
+            CcConfig {
+                store_shards,
+                ..CcConfig::default()
+            },
+        )
+    }
+
+    /// Creates a chain with an explicit concurrency-control configuration
+    /// (`cc_config.store_shards` also selects the state-store backend).
     pub fn with_cc_config(kind: SystemKind, cc_config: CcConfig) -> Self {
         let snapshots = SnapshotManager::new();
         SimpleChain {
             kind,
-            store: MultiVersionStore::new(),
+            store: StoreBackend::for_shards(cc_config.store_shards),
             ledger: Ledger::new(),
             endorser: SnapshotEndorser::new(snapshots),
             cc: kind.build(cc_config),
@@ -178,8 +192,8 @@ impl SimpleChain {
         &self.ledger
     }
 
-    /// The underlying state store.
-    pub fn store(&self) -> &MultiVersionStore {
+    /// The underlying state store backend.
+    pub fn store(&self) -> &StoreBackend {
         &self.store
     }
 

@@ -17,7 +17,9 @@ use eov_common::config::CcConfig;
 use eov_common::rwset::{Key, Value};
 use eov_common::txn::{CommitDecision, Transaction, TxnId, TxnStatus};
 use eov_ledger::{Block, Ledger};
-use eov_vstore::{into_shared, MultiVersionStore, SharedStore, SnapshotManager};
+use eov_vstore::{
+    into_shared_backend, SharedStore, SnapshotManager, StateRead, StateStore, StoreBackend,
+};
 use fabricsharp_core::endorser::SnapshotEndorser;
 use fabricsharp_core::pipeline::{CommitWorker, EndorseJob, EndorseLogic, EndorserPool};
 
@@ -42,9 +44,29 @@ impl ParallelChain {
         Self::with_cc_config(kind, CcConfig::default(), endorser_shards)
     }
 
-    /// Creates a chain with an explicit concurrency-control configuration.
+    /// Creates a chain whose state store, indices and dependency graph are partitioned across
+    /// `store_shards` key-space shards (`0` = the unsharded reference), on top of the
+    /// `endorser_shards` worker threads. Ledger outcomes are bit-identical for every
+    /// combination of the two shard knobs.
+    pub fn with_store_shards(
+        kind: SystemKind,
+        endorser_shards: usize,
+        store_shards: usize,
+    ) -> Self {
+        Self::with_cc_config(
+            kind,
+            CcConfig {
+                store_shards,
+                ..CcConfig::default()
+            },
+            endorser_shards,
+        )
+    }
+
+    /// Creates a chain with an explicit concurrency-control configuration
+    /// (`cc_config.store_shards` also selects the state-store backend).
     pub fn with_cc_config(kind: SystemKind, cc_config: CcConfig, endorser_shards: usize) -> Self {
-        let store = into_shared(MultiVersionStore::new());
+        let store = into_shared_backend(StoreBackend::for_shards(cc_config.store_shards));
         let snapshots = SnapshotManager::new();
         let endorser = SnapshotEndorser::new(snapshots.clone());
         ParallelChain {

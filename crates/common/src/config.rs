@@ -63,6 +63,12 @@ pub struct CcConfig {
     /// filters; used by the ablation benchmarks and by tests that quantify false-positive
     /// aborts. Production configurations leave this off.
     pub track_exact_reachability: bool,
+    /// Number of key-space shards for the multi-version store, the CW/CR/PW/PR indices and the
+    /// dependency graph. `0` (the default) runs the unsharded reference engine; `S >= 1` runs
+    /// `S` per-shard stores/graphs behind the cross-shard coordinator. Any value produces
+    /// bit-for-bit the same ledgers (asserted by `tests/sharding_determinism.rs`); the knob
+    /// trades single-path simplicity for independently scalable shards.
+    pub store_shards: usize,
 }
 
 impl Default for CcConfig {
@@ -72,6 +78,7 @@ impl Default for CcConfig {
             bloom_bits: 4096,
             bloom_hashes: 3,
             track_exact_reachability: false,
+            store_shards: 0,
         }
     }
 }

@@ -23,6 +23,7 @@ pub mod config;
 pub mod dep;
 pub mod error;
 pub mod rwset;
+pub mod shard;
 pub mod txn;
 pub mod version;
 
@@ -31,5 +32,6 @@ pub use config::{BlockConfig, CcConfig, ExperimentGrid, WorkloadParams};
 pub use dep::DependencyKind;
 pub use error::{CommonError, Result};
 pub use rwset::{ReadItem, ReadSet, WriteItem, WriteSet};
+pub use shard::{Partitioning, ShardRouter};
 pub use txn::{CommitDecision, Transaction, TxnId, TxnStatus};
 pub use version::{concurrent, EndTs, SeqNo, StartTs};

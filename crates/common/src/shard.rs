@@ -1,0 +1,147 @@
+//! Key-space sharding: the partitioner that assigns every state key to a shard.
+//!
+//! The paper keeps one global multi-version store and one global dependency graph, which caps
+//! throughput at a single commit/formation path. The sharding layer partitions the key space
+//! across `S` independent store and graph shards; this module provides the one component every
+//! layer must agree on — the key → shard assignment. Determinism is a replication requirement
+//! (Section 3.5 extended to shards): every orderer replica must route a key to the same shard,
+//! so the hash partitioner uses a fixed FNV-1a, never `std`'s randomized `DefaultHasher`.
+
+use crate::rwset::Key;
+use serde::{Deserialize, Serialize};
+
+/// How keys are mapped onto shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Partitioning {
+    /// FNV-1a hash of the key bytes, modulo the shard count. Spreads any key population
+    /// uniformly; the default.
+    Hash,
+    /// Lexicographic range partitioning: shard `i` owns the keys whose first byte falls into
+    /// the `i`-th of `S` equal byte ranges. Useful when key prefixes encode locality (e.g. an
+    /// account-id prefix) and a bench wants contiguous shards.
+    Range,
+}
+
+/// Assigns every key to one of `S` shards, deterministically across replicas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRouter {
+    shards: usize,
+    partitioning: Partitioning,
+}
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte string: stable across platforms, processes and replicas.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+impl ShardRouter {
+    /// A hash router over `shards` shards (clamped to at least 1).
+    pub fn hash(shards: usize) -> Self {
+        ShardRouter {
+            shards: shards.max(1),
+            partitioning: Partitioning::Hash,
+        }
+    }
+
+    /// A range router over `shards` shards (clamped to at least 1).
+    pub fn range(shards: usize) -> Self {
+        ShardRouter {
+            shards: shards.max(1),
+            partitioning: Partitioning::Range,
+        }
+    }
+
+    /// The trivial single-shard router (everything maps to shard 0).
+    pub fn unsharded() -> Self {
+        Self::hash(1)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The partitioning scheme in use.
+    pub fn partitioning(&self) -> Partitioning {
+        self.partitioning
+    }
+
+    /// The shard that owns `key`. Always in `0..shard_count()`.
+    pub fn shard_of(&self, key: &Key) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        match self.partitioning {
+            Partitioning::Hash => (fnv1a(key.as_str().as_bytes()) % self.shards as u64) as usize,
+            Partitioning::Range => {
+                let first = key.as_str().as_bytes().first().copied().unwrap_or(0) as usize;
+                (first * self.shards / 256).min(self.shards - 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_routing_is_deterministic_and_in_range() {
+        let router = ShardRouter::hash(4);
+        assert_eq!(router.shard_count(), 4);
+        for i in 0..500 {
+            let key = Key::new(format!("acct:{i}"));
+            let shard = router.shard_of(&key);
+            assert!(shard < 4);
+            assert_eq!(shard, router.shard_of(&key), "routing must be stable");
+        }
+    }
+
+    #[test]
+    fn hash_routing_spreads_keys_across_all_shards() {
+        let router = ShardRouter::hash(4);
+        let mut counts = [0usize; 4];
+        for i in 0..1_000 {
+            counts[router.shard_of(&Key::new(format!("checking:{i}")))] += 1;
+        }
+        for (shard, count) in counts.iter().enumerate() {
+            assert!(*count > 100, "shard {shard} only got {count} of 1000 keys");
+        }
+    }
+
+    #[test]
+    fn range_routing_is_monotone_in_the_first_byte() {
+        let router = ShardRouter::range(2);
+        assert_eq!(router.partitioning(), Partitioning::Range);
+        // ASCII letters < 0x80 land in shard 0; bytes >= 0x80 in shard 1.
+        assert_eq!(router.shard_of(&Key::new("alice")), 0);
+        let hi = Key::new("é"); // first UTF-8 byte 0xC3 >= 0x80
+        assert_eq!(router.shard_of(&hi), 1);
+    }
+
+    #[test]
+    fn single_shard_router_maps_everything_to_zero() {
+        let router = ShardRouter::unsharded();
+        assert_eq!(router.shard_count(), 1);
+        assert_eq!(router.shard_of(&Key::new("anything")), 0);
+        assert_eq!(ShardRouter::hash(0).shard_count(), 1, "clamped to 1");
+    }
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -9,7 +9,9 @@
 
 use eov_common::rwset::{Key, ReadSet, Value, WriteSet};
 use eov_common::txn::{Transaction, TxnId};
-use eov_vstore::{MultiVersionStore, SnapshotManager, SnapshotView};
+#[cfg(test)]
+use eov_vstore::MultiVersionStore;
+use eov_vstore::{SnapshotManager, SnapshotView, StateRead};
 
 /// The mutable effects a contract accumulates while simulating: reads (with observed versions)
 /// and buffered writes. Writes are visible to subsequent reads *within the same simulation*
@@ -100,9 +102,12 @@ impl SnapshotEndorser {
     }
 
     /// Algorithm 1: simulates `logic` against the latest snapshot of `store` and packages the
-    /// result as an endorsed transaction with the given id.
-    pub fn simulate<F>(&self, store: &MultiVersionStore, id: TxnId, logic: F) -> Transaction
+    /// result as an endorsed transaction with the given id. Accepts any [`StateRead`] backend
+    /// — the unsharded store or the key-space sharded one — which both serve identical
+    /// snapshot reads for the same committed writes.
+    pub fn simulate<S, F>(&self, store: &S, id: TxnId, logic: F) -> Transaction
     where
+        S: StateRead,
         F: FnOnce(&mut SimulationContext<'_>),
     {
         let block = self.snapshots.pin_latest();
@@ -114,14 +119,15 @@ impl SnapshotEndorser {
     /// Simulates against an explicit snapshot block — used by tests and by the simulator when
     /// it needs to model a stale snapshot (e.g. a long-running simulation that started several
     /// blocks ago).
-    pub fn simulate_at<F>(
+    pub fn simulate_at<S, F>(
         &self,
-        store: &MultiVersionStore,
+        store: &S,
         id: TxnId,
         snapshot_block: u64,
         logic: F,
     ) -> Transaction
     where
+        S: StateRead,
         F: FnOnce(&mut SimulationContext<'_>),
     {
         let mut effects = TxnEffects::default();

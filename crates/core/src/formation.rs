@@ -56,20 +56,19 @@ impl FabricSharpCC {
 
             // Committed-read index: record this transaction as a reader of each key it read.
             for read in txn.read_set.iter() {
-                self.cr.record(read.key.clone(), slot, txn.id);
+                self.indices.record_cr(read.key.clone(), slot, txn.id);
             }
             // Committed-write index: record the writes and drop readers of the overwritten
             // values (they no longer read the latest version).
             for write in txn.write_set.iter() {
-                self.cw.record(write.key.clone(), slot, txn.id);
-                self.cr.drop_stale_readers(&write.key, slot);
+                self.indices.record_cw(write.key.clone(), slot, txn.id);
+                self.indices.drop_stale_readers(&write.key, slot);
             }
             self.graph.mark_committed(txn.id, slot);
             self.stats.block_span_sum += txn.block_span().unwrap_or(0);
             block_txns.push(txn);
         }
-        self.pw.clear();
-        self.pr.clear();
+        self.indices.clear_pending();
         self.stats.reorder_persist += t_persist.elapsed();
 
         // Step 4: prune everything that can no longer matter.
@@ -77,8 +76,7 @@ impl FabricSharpCC {
         let next = block_no + 1;
         self.graph.prune_for_next_block(next);
         let horizon = snapshot_threshold(next, self.config.max_span);
-        self.cw.prune_below(horizon);
-        self.cr.prune_below(horizon);
+        self.indices.prune_committed_below(horizon);
         self.stats.reorder_prune += t_prune.elapsed();
 
         self.stats.blocks_formed += 1;
@@ -95,20 +93,26 @@ impl FabricSharpCC {
         let position: std::collections::HashMap<TxnId, usize> =
             order.iter().enumerate().map(|(i, id)| (*id, i)).collect();
 
+        // Split borrows: the PW iteration only reads `indices` while the edge restoration
+        // mutates `graph` — destructuring lets the borrow checker see they are disjoint, so
+        // the per-block `String`/`Vec` clones of the key lists (the ROADMAP-named hot spot)
+        // are gone and the loop works on borrowed slices plus one reusable writer buffer.
+        let FabricSharpCC { indices, graph, .. } = self;
+
         let mut head_txns: Vec<TxnId> = Vec::new();
         // Deterministic iteration: sort the written keys (PendingIndex iteration order is not
         // deterministic across replicas, but the set of keys is identical, so sorting fixes the
-        // replication requirement of Section 3.5).
-        let mut keyed: Vec<(String, Vec<TxnId>)> = self
-            .pw
-            .iter()
-            .map(|(key, txns)| (key.as_str().to_string(), txns.to_vec()))
-            .collect();
-        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        // replication requirement of Section 3.5). Each key routes to exactly one shard, so the
+        // (shard, key) pairs are unique and the key order is total.
+        let mut keyed: Vec<(usize, &eov_common::rwset::Key, &[TxnId])> =
+            indices.iter_pw().collect();
+        keyed.sort_by(|a, b| a.1.cmp(b.1));
 
-        for (_key, mut writers) in keyed {
+        let mut writers: Vec<TxnId> = Vec::new();
+        for (shard, _key, txns) in keyed {
             // Only pending writers that made it into the order matter here.
-            writers.retain(|t| position.contains_key(t));
+            writers.clear();
+            writers.extend(txns.iter().copied().filter(|t| position.contains_key(t)));
             if writers.len() < 2 {
                 continue;
             }
@@ -124,10 +128,10 @@ impl FabricSharpCC {
             // and is therefore a strictly safe strengthening.
             for i in 0..writers.len() - 1 {
                 let (first, second) = (writers[i], writers[i + 1]);
-                if self.graph.already_connected(first, second) {
+                if graph.already_connected(first, second) {
                     continue;
                 }
-                self.graph.add_edge_with_union(first, second);
+                graph.add_ww_edge(shard, first, second);
                 if !head_txns.contains(&second) {
                     head_txns.push(second);
                 }
@@ -136,12 +140,7 @@ impl FabricSharpCC {
 
         // Propagate the new reachability downstream exactly once per node, in topological
         // order (Figure 9: Txn8 is reachable through both restored edges but is updated once).
-        let iteration = self.graph.reachable_in_topo_order(&head_txns);
-        for txn in iteration {
-            for s in self.graph.successors(txn) {
-                self.graph.propagate_reachability(txn, s);
-            }
-        }
+        graph.propagate_from(&head_txns);
     }
 }
 

@@ -33,7 +33,7 @@ pub mod serializability;
 pub mod stats;
 pub mod theory;
 
-pub use dependency::{resolve_dependencies, ResolvedDeps};
+pub use dependency::{resolve_dependencies, resolve_sharded, ResolvedDeps, ShardedResolution};
 pub use endorser::{SimulationContext, SnapshotEndorser, TxnEffects};
 pub use orderer_cc::FabricSharpCC;
 pub use pipeline::{CommitOutcome, CommitWorker, EndorseJob, EndorseLogic, EndorserPool};

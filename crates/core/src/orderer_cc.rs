@@ -16,20 +16,25 @@
 
 use crate::stats::CcStats;
 use eov_common::config::CcConfig;
+use eov_common::shard::ShardRouter;
 use eov_common::txn::{Transaction, TxnId};
-use eov_depgraph::DependencyGraph;
-use eov_vstore::{CommittedReadIndex, CommittedWriteIndex, PendingIndex};
+use eov_depgraph::GraphEngine;
+use eov_vstore::ShardedIndices;
 use std::collections::HashMap;
 
 /// The FabricSharp orderer-side concurrency control.
+///
+/// Since the key-space sharding refactor the graph and the CW/CR/PW/PR indices live behind
+/// the [`GraphEngine`] / [`ShardedIndices`] dispatch: `CcConfig::store_shards == 0` selects
+/// the unsharded reference engine, `S >= 1` selects `S` per-shard graphs and index partitions
+/// behind the cross-shard coordinator. Every algorithm below is written once against that
+/// surface, and both configurations produce bit-identical decisions (asserted end to end by
+/// `tests/sharding_determinism.rs`).
 #[derive(Debug)]
 pub struct FabricSharpCC {
     pub(crate) config: CcConfig,
-    pub(crate) graph: DependencyGraph,
-    pub(crate) cw: CommittedWriteIndex,
-    pub(crate) cr: CommittedReadIndex,
-    pub(crate) pw: PendingIndex,
-    pub(crate) pr: PendingIndex,
+    pub(crate) graph: GraphEngine,
+    pub(crate) indices: ShardedIndices,
     /// Accepted transactions waiting for the next block, keyed by id.
     pub(crate) pending_txns: HashMap<u64, Transaction>,
     /// Number of the block currently being assembled (the first block is 1).
@@ -40,13 +45,15 @@ pub struct FabricSharpCC {
 impl FabricSharpCC {
     /// Creates a controller with the given configuration, starting at block 1.
     pub fn new(config: CcConfig) -> Self {
+        let router = if config.store_shards == 0 {
+            ShardRouter::unsharded()
+        } else {
+            ShardRouter::hash(config.store_shards)
+        };
         FabricSharpCC {
-            graph: DependencyGraph::new(config),
+            graph: GraphEngine::new(config),
+            indices: ShardedIndices::new(router),
             config,
-            cw: CommittedWriteIndex::new(),
-            cr: CommittedReadIndex::new(),
-            pw: PendingIndex::new(),
-            pr: PendingIndex::new(),
             pending_txns: HashMap::new(),
             next_block: 1,
             stats: CcStats::default(),
@@ -78,9 +85,14 @@ impl FabricSharpCC {
         &self.stats
     }
 
-    /// Read access to the dependency graph (tests, diagnostics, benches).
-    pub fn graph(&self) -> &DependencyGraph {
+    /// Read access to the dependency-graph engine (tests, diagnostics, benches).
+    pub fn graph(&self) -> &GraphEngine {
         &self.graph
+    }
+
+    /// Read access to the sharded CW/CR/PW/PR indices (tests and diagnostics).
+    pub fn indices(&self) -> &ShardedIndices {
+        &self.indices
     }
 
     /// Looks up an accepted pending transaction.
@@ -99,23 +111,27 @@ impl FabricSharpCC {
         if self.graph.contains(txn.id) {
             return;
         }
-        let deps =
-            crate::dependency::resolve_dependencies(txn, &self.cw, &self.cr, &self.pw, &self.pr);
+        let resolved = crate::dependency::resolve_sharded(txn, &self.indices);
         let spec = eov_depgraph::PendingTxnSpec {
             id: txn.id,
             start_ts: txn.start_ts(),
             read_keys: txn.read_set.keys().cloned().collect(),
             write_keys: txn.write_set.keys().cloned().collect(),
         };
-        self.graph
-            .insert_pending(spec, &deps.predecessors, &deps.successors, slot.block);
+        self.graph.insert_pending(
+            spec,
+            &resolved.global.predecessors,
+            &resolved.global.successors,
+            &resolved.per_shard,
+            slot.block,
+        );
         self.graph.mark_committed(txn.id, slot);
         for read in txn.read_set.iter() {
-            self.cr.record(read.key.clone(), slot, txn.id);
+            self.indices.record_cr(read.key.clone(), slot, txn.id);
         }
         for write in txn.write_set.iter() {
-            self.cw.record(write.key.clone(), slot, txn.id);
-            self.cr.drop_stale_readers(&write.key, slot);
+            self.indices.record_cw(write.key.clone(), slot, txn.id);
+            self.indices.drop_stale_readers(&write.key, slot);
         }
         self.next_block = self.next_block.max(slot.block + 1);
     }
@@ -125,8 +141,7 @@ impl FabricSharpCC {
     pub fn withdraw(&mut self, id: TxnId) -> Option<Transaction> {
         let txn = self.pending_txns.remove(&id.0)?;
         self.graph.remove(id);
-        self.pw.remove_txn(id);
-        self.pr.remove_txn(id);
+        self.indices.remove_pending_txn(id);
         Some(txn)
     }
 }

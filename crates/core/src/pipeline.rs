@@ -25,7 +25,7 @@
 use crate::endorser::{SimulationContext, SnapshotEndorser};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use eov_common::txn::{Transaction, TxnId, TxnStatus};
-use eov_vstore::{MultiVersionStore, SharedStore};
+use eov_vstore::{SharedStore, StoreBackend};
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 
@@ -106,7 +106,7 @@ impl EndorserPool {
                             let txn = {
                                 let guard = store.read();
                                 endorser.simulate_at(
-                                    &guard,
+                                    &*guard,
                                     TxnId(request_no),
                                     snapshot_block,
                                     |ctx| logic(ctx),
@@ -189,8 +189,10 @@ pub struct CommitOutcome {
     pub anti_rw_commits: u64,
 }
 
-/// Validation/commit work for one block, run under the store's write lock.
-pub type CommitLogic = Box<dyn FnOnce(&mut MultiVersionStore) -> CommitOutcome + Send>;
+/// Validation/commit work for one block, run under the store's write lock. The backend may be
+/// the unsharded store or the key-space sharded one — commit logic is written against the
+/// `StateStore` surface either way.
+pub type CommitLogic = Box<dyn FnOnce(&mut StoreBackend) -> CommitOutcome + Send>;
 
 /// The single validator/committer stage: applies block jobs strictly in submission order.
 pub struct CommitWorker {
@@ -276,7 +278,7 @@ const _: () = {
 mod tests {
     use super::*;
     use eov_common::rwset::{Key, Value};
-    use eov_vstore::{into_shared, SnapshotManager};
+    use eov_vstore::{into_shared, MultiVersionStore, SnapshotManager, StateRead, StateStore};
 
     fn seeded() -> (SharedStore, SnapshotEndorser) {
         let mut store = MultiVersionStore::new();
@@ -309,7 +311,7 @@ mod tests {
         for request_no in (1..=60u64).rev() {
             let pooled = pool.collect(request_no);
             let guard = store.read();
-            let inline = endorser.simulate_at(&guard, TxnId(request_no), 0, |ctx| {
+            let inline = endorser.simulate_at(&*guard, TxnId(request_no), 0, |ctx| {
                 let key = Key::new(format!("k{}", request_no % 8));
                 let v = ctx.read_balance(&key);
                 ctx.write(key.clone(), Value::from_i64(v + 1));

@@ -1,0 +1,274 @@
+//! [`GraphEngine`]: the orderer-facing dispatch between the unsharded reference graph and the
+//! key-space sharded graph.
+//!
+//! `FabricSharpCC` holds one of these; `CcConfig::store_shards` selects the variant at
+//! construction time. Both variants answer every query identically (the sharded one by
+//! construction — see [`crate::sharded`]), so the concurrency control's algorithms are written
+//! once against this surface.
+
+use crate::graph::{CycleCheck, DependencyGraph, InsertReport, PendingTxnSpec, TxnNode};
+use crate::sharded::{ShardDeps, ShardedDependencyGraph};
+use eov_common::config::CcConfig;
+use eov_common::txn::TxnId;
+use eov_common::version::SeqNo;
+
+/// The dependency-graph engine behind the FabricSharp orderer: global or sharded.
+#[derive(Clone, Debug)]
+pub enum GraphEngine {
+    /// One global graph — the unsharded reference engine (`store_shards == 0`).
+    Global(DependencyGraph),
+    /// Per-shard graphs with the cross-shard coordinator (`store_shards >= 1`).
+    Sharded(ShardedDependencyGraph),
+}
+
+impl GraphEngine {
+    /// Builds the engine selected by `config.store_shards`.
+    pub fn new(config: CcConfig) -> Self {
+        if config.store_shards == 0 {
+            GraphEngine::Global(DependencyGraph::new(config))
+        } else {
+            GraphEngine::Sharded(ShardedDependencyGraph::new(config, config.store_shards))
+        }
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &CcConfig {
+        match self {
+            GraphEngine::Global(g) => g.config(),
+            GraphEngine::Sharded(g) => g.config(),
+        }
+    }
+
+    /// Number of key-space shards (1 for the global engine).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            GraphEngine::Global(_) => 1,
+            GraphEngine::Sharded(g) => g.shard_count(),
+        }
+    }
+
+    /// Number of live border (multi-shard) transactions; always 0 for the global engine.
+    pub fn border_count(&self) -> usize {
+        match self {
+            GraphEngine::Global(_) => 0,
+            GraphEngine::Sharded(g) => g.border_count(),
+        }
+    }
+
+    /// Number of distinct transactions currently tracked.
+    pub fn len(&self) -> usize {
+        match self {
+            GraphEngine::Global(g) => g.len(),
+            GraphEngine::Sharded(g) => g.len(),
+        }
+    }
+
+    /// Whether no transaction is tracked.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            GraphEngine::Global(g) => g.is_empty(),
+            GraphEngine::Sharded(g) => g.is_empty(),
+        }
+    }
+
+    /// Whether `id` is currently tracked.
+    pub fn contains(&self, id: TxnId) -> bool {
+        match self {
+            GraphEngine::Global(g) => g.contains(id),
+            GraphEngine::Sharded(g) => g.contains(id),
+        }
+    }
+
+    /// Immutable access to a node (for the sharded engine: one of its copies — all copies
+    /// agree on timestamps, age and the reach set).
+    pub fn node(&self, id: TxnId) -> Option<&TxnNode> {
+        match self {
+            GraphEngine::Global(g) => g.node(id),
+            GraphEngine::Sharded(g) => g.node(id),
+        }
+    }
+
+    /// The immediate successors of `id` (union across shards for border transactions).
+    pub fn successors(&self, id: TxnId) -> Vec<TxnId> {
+        match self {
+            GraphEngine::Global(g) => g.successors(id),
+            GraphEngine::Sharded(g) => g.successors_global(id),
+        }
+    }
+
+    /// Number of pending transactions.
+    pub fn pending_len(&self) -> usize {
+        match self {
+            GraphEngine::Global(g) => g.pending_len(),
+            GraphEngine::Sharded(g) => g.pending_len(),
+        }
+    }
+
+    /// Section 4.4's arrival-time cycle probe.
+    pub fn would_close_cycle(&self, preds: &[TxnId], succs: &[TxnId]) -> CycleCheck {
+        match self {
+            GraphEngine::Global(g) => g.would_close_cycle(preds, succs),
+            GraphEngine::Sharded(g) => g.would_close_cycle(preds, succs),
+        }
+    }
+
+    /// Algorithm 4: inserts a pending transaction. The global engine uses the flat dependency
+    /// lists; the sharded engine uses `per_shard` (or, when it is empty, treats the spec as a
+    /// single-shard transaction homed on shard 0 with the flat lists).
+    pub fn insert_pending(
+        &mut self,
+        spec: PendingTxnSpec,
+        global_preds: &[TxnId],
+        global_succs: &[TxnId],
+        per_shard: &[ShardDeps],
+        next_block: u64,
+    ) -> InsertReport {
+        match self {
+            GraphEngine::Global(g) => {
+                g.insert_pending(spec, global_preds, global_succs, next_block)
+            }
+            GraphEngine::Sharded(g) => {
+                g.insert_pending(spec, global_preds, global_succs, per_shard, next_block)
+            }
+        }
+    }
+
+    /// Marks a transaction committed at `end_ts`.
+    pub fn mark_committed(&mut self, id: TxnId, end_ts: SeqNo) {
+        match self {
+            GraphEngine::Global(g) => g.mark_committed(id, end_ts),
+            GraphEngine::Sharded(g) => g.mark_committed(id, end_ts),
+        }
+    }
+
+    /// Removes a transaction entirely (withdrawals).
+    pub fn remove(&mut self, id: TxnId) {
+        match self {
+            GraphEngine::Global(g) => g.remove(id),
+            GraphEngine::Sharded(g) => g.remove(id),
+        }
+    }
+
+    /// Algorithm 3, line 1: the deterministic topological order of the pending set.
+    pub fn topo_sort_pending(&self) -> Vec<TxnId> {
+        match self {
+            GraphEngine::Global(g) => g.topo_sort_pending(),
+            GraphEngine::Sharded(g) => g.topo_sort_pending(),
+        }
+    }
+
+    /// Whether `earlier` already reaches `later` (Algorithm 5's redundant-edge skip).
+    pub fn already_connected(&self, earlier: TxnId, later: TxnId) -> bool {
+        match self {
+            GraphEngine::Global(g) => g.already_connected(earlier, later),
+            GraphEngine::Sharded(g) => g.already_connected(earlier, later),
+        }
+    }
+
+    /// Algorithm 5's restored ww edge; `shard` is the shard owning the restored key (ignored
+    /// by the global engine).
+    pub fn add_ww_edge(&mut self, shard: usize, from: TxnId, to: TxnId) {
+        match self {
+            GraphEngine::Global(g) => g.add_edge_with_union(from, to),
+            GraphEngine::Sharded(g) => g.add_ww_edge(shard, from, to),
+        }
+    }
+
+    /// The tail of Algorithm 5: propagates the restored reachability downstream of `heads`
+    /// exactly once per node, in topological order.
+    pub fn propagate_from(&mut self, heads: &[TxnId]) {
+        match self {
+            GraphEngine::Global(g) => {
+                let iteration = g.reachable_in_topo_order(heads);
+                for txn in iteration {
+                    for s in g.successors(txn) {
+                        g.propagate_reachability(txn, s);
+                    }
+                }
+            }
+            GraphEngine::Sharded(g) => g.propagate_from(heads),
+        }
+    }
+
+    /// Section 4.6 pruning. Returns the number of transactions removed.
+    pub fn prune_for_next_block(&mut self, next_block: u64) -> usize {
+        match self {
+            GraphEngine::Global(g) => g.prune_for_next_block(next_block),
+            GraphEngine::Sharded(g) => g.prune_for_next_block(next_block),
+        }
+    }
+
+    /// Exact reachability query (test oracles, false-positive classification).
+    pub fn reaches_exact(&self, from: TxnId, to: TxnId) -> bool {
+        match self {
+            GraphEngine::Global(g) => g.reaches_exact(from, to),
+            GraphEngine::Sharded(g) => g.reaches_exact(from, to),
+        }
+    }
+
+    /// Exact whole-graph acyclicity (test oracle).
+    pub fn is_acyclic_exact(&self) -> bool {
+        match self {
+            GraphEngine::Global(g) => g.is_acyclic_exact(),
+            GraphEngine::Sharded(g) => g.is_acyclic_exact(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_variant_follows_the_store_shards_knob() {
+        let global = GraphEngine::new(CcConfig::default());
+        assert!(matches!(global, GraphEngine::Global(_)));
+        assert_eq!(global.shard_count(), 1);
+        assert_eq!(global.border_count(), 0);
+
+        let sharded = GraphEngine::new(CcConfig {
+            store_shards: 4,
+            ..CcConfig::default()
+        });
+        assert!(matches!(sharded, GraphEngine::Sharded(_)));
+        assert_eq!(sharded.shard_count(), 4);
+        assert!(sharded.is_empty());
+    }
+
+    #[test]
+    fn both_variants_agree_on_a_tiny_workload() {
+        let mut engines = [
+            GraphEngine::new(CcConfig {
+                track_exact_reachability: true,
+                ..CcConfig::default()
+            }),
+            GraphEngine::new(CcConfig {
+                track_exact_reachability: true,
+                store_shards: 2,
+                ..CcConfig::default()
+            }),
+        ];
+        for engine in &mut engines {
+            let spec = |id: u64| PendingTxnSpec {
+                id: TxnId(id),
+                start_ts: SeqNo::snapshot_after(0),
+                read_keys: vec![],
+                write_keys: vec![],
+            };
+            engine.insert_pending(spec(1), &[], &[], &[], 1);
+            engine.insert_pending(spec(2), &[TxnId(1)], &[], &[], 1);
+            assert!(engine.contains(TxnId(2)));
+            assert_eq!(engine.len(), 2);
+            assert_eq!(engine.pending_len(), 2);
+            assert!(engine.reaches_exact(TxnId(1), TxnId(2)));
+            assert!(engine.is_acyclic_exact());
+            assert!(!engine
+                .would_close_cycle(&[TxnId(2)], &[TxnId(1)])
+                .is_acyclic());
+            assert_eq!(engine.topo_sort_pending(), vec![TxnId(1), TxnId(2)]);
+            engine.mark_committed(TxnId(1), SeqNo::new(1, 1));
+            assert_eq!(engine.pending_len(), 1);
+            assert_eq!(engine.successors(TxnId(1)), vec![TxnId(2)]);
+        }
+    }
+}

@@ -18,20 +18,30 @@
 //! * [`prune`] — `max_span` snapshot thresholds and age-based pruning (Section 4.6).
 //! * [`reference`] — the retained naive-DFS implementation, kept as the equivalence oracle
 //!   and bench baseline for the dense engine. Not for production use.
+//! * [`sharded`] — key-space sharding: per-shard graphs whose local edges never leave their
+//!   shard, plus the cross-shard coordinator that tracks border transactions and keeps every
+//!   node copy carrying the *global* reach set (so cycle checks and the topo merge stay
+//!   bit-identical to the unsharded engine).
+//! * [`engine`] — [`engine::GraphEngine`], the orderer-facing dispatch between the global and
+//!   sharded variants, selected by `CcConfig::store_shards`.
 
 pub mod bloom;
 pub mod cycle;
+pub mod engine;
 pub mod graph;
 pub mod interner;
 pub mod prune;
 pub mod rebuild;
 pub mod reference;
+pub mod sharded;
 pub mod topo;
 pub mod visited;
 
 pub use bloom::{BloomFilter, RelayBloom};
+pub use engine::GraphEngine;
 pub use graph::{CycleCheck, DependencyGraph, InsertReport, PendingTxnSpec, ReachSet, TxnNode};
 pub use interner::Interner;
 pub use prune::snapshot_threshold;
 pub use reference::NaiveGraph;
+pub use sharded::{ShardDeps, ShardedDependencyGraph};
 pub use visited::EpochVisited;

@@ -64,7 +64,7 @@ impl EndorseStage {
                 let txn = {
                     let guard = store.read();
                     endorser.simulate_at(
-                        &guard,
+                        &*guard,
                         eov_common::txn::TxnId(request_no),
                         snapshot_block,
                         |ctx| logic(ctx),
@@ -139,7 +139,7 @@ impl CommitStage {
         match self {
             CommitStage::Inline { store } => {
                 let mut guard = store.write();
-                commit_block(&mut guard, block_no, txns, needs_validation)
+                commit_block(&mut *guard, block_no, txns, needs_validation)
             }
             CommitStage::Threaded(worker) => worker.finish(block_no),
         }

@@ -35,7 +35,9 @@ use eov_common::rwset::ReadSet;
 use eov_common::txn::{Transaction, TxnId, TxnStatus};
 use eov_common::version::SeqNo;
 use eov_ledger::{Block, Ledger};
-use eov_vstore::{into_shared, MultiVersionStore, SharedStore, SnapshotManager};
+use eov_vstore::{
+    into_shared_backend, SharedStore, SnapshotManager, StateRead, StateStore, StoreBackend,
+};
 use eov_workload::generator::{WorkloadGenerator, WorkloadKind};
 use fabricsharp_core::endorser::SnapshotEndorser;
 use std::collections::HashMap;
@@ -65,6 +67,12 @@ pub struct SimulationConfig {
     /// single-threaded mode; `N ≥ 1` spawns `N` endorser shards plus the committer thread.
     /// Both modes produce identical ledgers for the same seed.
     pub endorser_shards: usize,
+    /// Number of key-space shards for the state store, the CW/CR/PW/PR indices and the
+    /// dependency graph. `0` (the default) runs the unsharded reference engine; `S ≥ 1`
+    /// partitions the key space across `S` stores and graph shards behind the cross-shard
+    /// coordinator. Every value produces identical ledgers for the same seed — asserted
+    /// block for block by `tests/sharding_determinism.rs`.
+    pub store_shards: usize,
 }
 
 impl SimulationConfig {
@@ -81,6 +89,7 @@ impl SimulationConfig {
             duration_s: 15.0,
             seed: 42,
             endorser_shards: 0,
+            store_shards: 0,
         }
     }
 
@@ -97,6 +106,15 @@ impl SimulationConfig {
     pub fn concurrent(system: SystemKind, workload: WorkloadKind, shards: usize) -> Self {
         SimulationConfig {
             endorser_shards: shards,
+            ..Self::new(system, workload)
+        }
+    }
+
+    /// Same as [`SimulationConfig::new`] but with the key space partitioned across
+    /// `store_shards` store/graph shards.
+    pub fn sharded_store(system: SystemKind, workload: WorkloadKind, store_shards: usize) -> Self {
+        SimulationConfig {
+            store_shards,
             ..Self::new(system, workload)
         }
     }
@@ -120,18 +138,24 @@ impl Simulator {
         let mut generator =
             WorkloadGenerator::new(config.workload.clone(), config.params, config.seed);
 
-        // Substrate: state store (shared with the stage backends), ledger, snapshot manager,
-        // endorser, concurrency control.
+        // Substrate: state store (shared with the stage backends; unsharded or key-space
+        // partitioned per the `store_shards` knob), ledger, snapshot manager, endorser,
+        // concurrency control. The same knob flows into the CC so FabricSharp's graph and
+        // indices shard alongside the store.
         let store: SharedStore = {
-            let mut s = MultiVersionStore::new();
+            let mut s = StoreBackend::for_shards(config.store_shards);
             s.seed_genesis(generator.genesis());
-            into_shared(s)
+            into_shared_backend(s)
         };
         let snapshots = SnapshotManager::new();
         snapshots.register_block(0);
         let endorser = SnapshotEndorser::new(snapshots.clone());
         let mut ledger = Ledger::new();
-        let mut cc: Box<dyn ConcurrencyControl> = config.system.build(config.cc);
+        let cc_config = CcConfig {
+            store_shards: config.store_shards,
+            ..config.cc
+        };
+        let mut cc: Box<dyn ConcurrencyControl> = config.system.build(cc_config);
         let needs_validation = cc.needs_peer_validation();
 
         // Stage backends (inline for endorser_shards == 0, threaded otherwise).
@@ -418,7 +442,7 @@ impl Simulator {
     /// retained, so the re-simulation simply refreshes the read versions in place — the write
     /// values are recomputed from the refreshed reads only for balance-style single-key
     /// updates; for everything else the key sets are what matter to the concurrency analysis.
-    fn resimulate(store: &MultiVersionStore, txn: &Transaction, latest_block: u64) -> Transaction {
+    fn resimulate(store: &StoreBackend, txn: &Transaction, latest_block: u64) -> Transaction {
         let mut refreshed = txn.clone();
         refreshed.snapshot_block = latest_block;
         let mut reads = ReadSet::new();

@@ -16,15 +16,25 @@
 //! * [`shared`] — the [`shared::SharedStore`] handle used by the concurrent pipeline to share
 //!   one store between endorser shards (readers) and the committer (writer), plus the
 //!   compile-time `Send + Sync` audit of every stage-crossing substrate type.
+//! * [`state`] — the [`state::StateRead`] / [`state::StateStore`] traits every backend
+//!   implements, so the endorsement and commit paths are backend-agnostic.
+//! * [`sharded`] — the key-space sharding layer: [`sharded::ShardedStore`] partitions the
+//!   multi-version store across `S` shards behind a deterministic
+//!   [`eov_common::shard::ShardRouter`], and [`sharded::ShardedIndices`] partitions the
+//!   CW/CR/PW/PR dependency-resolution indices the same way.
 
 pub mod index;
 pub mod mvstore;
 pub mod pending;
+pub mod sharded;
 pub mod shared;
 pub mod snapshot;
+pub mod state;
 
 pub use index::{CommittedReadIndex, CommittedWriteIndex};
 pub use mvstore::{MultiVersionStore, VersionedValue};
 pub use pending::PendingIndex;
-pub use shared::{into_shared, SharedStore};
+pub use sharded::{ShardedIndices, ShardedStore};
+pub use shared::{into_shared, into_shared_backend, SharedStore, StoreBackend};
 pub use snapshot::{SnapshotManager, SnapshotView};
+pub use state::{StateRead, StateStore};

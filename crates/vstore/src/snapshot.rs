@@ -12,7 +12,9 @@
 //! * [`SnapshotManager`] — tracks which block snapshots are pinned by in-flight simulations and
 //!   prunes stale ones, refusing reads from pruned snapshots.
 
+#[cfg(test)]
 use crate::mvstore::MultiVersionStore;
+use crate::state::StateRead;
 use eov_common::error::{CommonError, Result};
 use eov_common::rwset::{Key, ReadSet, Value};
 use eov_common::version::SeqNo;
@@ -27,15 +29,27 @@ use std::sync::Arc;
 /// readset during simulation. Keys that do not exist at the snapshot are recorded with the
 /// genesis version `(0,0)` so that validation can still detect later creations (phantom
 /// protection, matching Fabric's behaviour of recording absent reads).
-#[derive(Clone, Debug)]
+///
+/// The view holds any [`StateRead`] backend — the unsharded
+/// [`crate::mvstore::MultiVersionStore`] or the key-space sharded store — behind one `&dyn`,
+/// so contract simulation closures stay non-generic while the backend is swappable.
+#[derive(Clone, Copy)]
 pub struct SnapshotView<'a> {
-    store: &'a MultiVersionStore,
+    store: &'a dyn StateRead,
     block: u64,
+}
+
+impl std::fmt::Debug for SnapshotView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotView")
+            .field("block", &self.block)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> SnapshotView<'a> {
     /// Creates a view of `store` frozen at the snapshot after `block`.
-    pub fn new(store: &'a MultiVersionStore, block: u64) -> Self {
+    pub fn new<S: StateRead>(store: &'a S, block: u64) -> Self {
         SnapshotView { store, block }
     }
 

@@ -7,6 +7,7 @@
 
 use crate::contracts::{KvUpdateContract, SmartContract};
 use crate::smallbank::{self, SmallbankContract, SmallbankOp};
+use crate::ycsb::{self, YcsbProfile, YcsbTxn};
 use crate::zipf::Zipfian;
 use eov_common::config::WorkloadParams;
 use eov_common::rwset::{Key, Value};
@@ -34,6 +35,9 @@ pub enum WorkloadKind {
     },
     /// Uniform Create-Account transactions (write-only, contention-free; Section 5.4).
     CreateAccount,
+    /// YCSB-style read/update/RMW mix with Zipfian skew and a cross-shard locality knob
+    /// (see [`crate::ycsb`]); the key population is `params.num_accounts` records.
+    Ycsb(YcsbProfile),
 }
 
 /// A transaction template: everything the endorser needs to materialise the transaction.
@@ -48,6 +52,8 @@ pub enum TxnTemplate {
     },
     /// A Smallbank operation.
     Smallbank(SmallbankOp),
+    /// A YCSB transaction.
+    Ycsb(YcsbTxn),
 }
 
 impl TxnTemplate {
@@ -57,6 +63,7 @@ impl TxnTemplate {
             TxnTemplate::NoOp => 0,
             TxnTemplate::KvUpdate { .. } => 1,
             TxnTemplate::Smallbank(op) => op.read_count(),
+            TxnTemplate::Ycsb(txn) => txn.read_count(),
         }
     }
 
@@ -66,6 +73,7 @@ impl TxnTemplate {
             TxnTemplate::NoOp => {}
             TxnTemplate::KvUpdate { key_index } => KvUpdateContract::for_index(*key_index).run(ctx),
             TxnTemplate::Smallbank(op) => SmallbankContract.run(ctx, op),
+            TxnTemplate::Ycsb(txn) => txn.run(ctx),
         }
     }
 }
@@ -88,6 +96,7 @@ impl WorkloadGenerator {
             WorkloadKind::KvUpdate { theta } | WorkloadKind::MixedSmallbank { theta } => {
                 Some(Zipfian::new(params.num_accounts, *theta))
             }
+            WorkloadKind::Ycsb(profile) => Some(Zipfian::new(params.num_accounts, profile.theta)),
             _ => None,
         };
         WorkloadGenerator {
@@ -119,6 +128,7 @@ impl WorkloadGenerator {
             WorkloadKind::ModifiedSmallbank
             | WorkloadKind::MixedSmallbank { .. }
             | WorkloadKind::CreateAccount => smallbank::genesis_accounts(self.params.num_accounts),
+            WorkloadKind::Ycsb(_) => ycsb::ycsb_genesis(self.params.num_accounts),
         }
     }
 
@@ -148,6 +158,15 @@ impl WorkloadGenerator {
                     checking: 1_000,
                     savings: 1_000,
                 })
+            }
+            WorkloadKind::Ycsb(profile) => {
+                let zipf = self.zipf.as_ref().expect("zipf initialised for Ycsb");
+                TxnTemplate::Ycsb(ycsb::next_ycsb_txn(
+                    &profile,
+                    zipf,
+                    self.params.num_accounts,
+                    &mut self.rng,
+                ))
             }
         }
     }

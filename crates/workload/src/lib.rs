@@ -15,9 +15,11 @@
 pub mod contracts;
 pub mod generator;
 pub mod smallbank;
+pub mod ycsb;
 pub mod zipf;
 
 pub use contracts::{KvUpdateContract, NoOpContract, SmartContract};
 pub use generator::{TxnTemplate, WorkloadGenerator, WorkloadKind};
 pub use smallbank::{SmallbankContract, SmallbankOp};
+pub use ycsb::{YcsbOp, YcsbProfile, YcsbTxn};
 pub use zipf::Zipfian;

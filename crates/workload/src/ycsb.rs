@@ -1,0 +1,361 @@
+//! YCSB-style key-value workloads with a cross-shard locality knob.
+//!
+//! The paper evaluates Smallbank only; scaling work needs the standard cloud-serving mixes:
+//! a configurable read / blind-update / read-modify-write operation mix over a Zipfian-skewed
+//! key population (YCSB A/B/C/F shapes). On top of the classic knobs, [`YcsbProfile`] adds a
+//! **cross-shard fraction**: when the generator is told how the key space is partitioned
+//! (`shards` + the same FNV hash router the store uses), it steers each transaction's keys to
+//! either a single shard (*local*) or at least two shards (*border*), so sharding benches can
+//! sweep locality from 0% to 100% cross-shard and measure exactly what the coordinator costs.
+
+use crate::zipf::Zipfian;
+use eov_common::rwset::{Key, Value};
+use eov_common::shard::ShardRouter;
+use fabricsharp_core::endorser::SimulationContext;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Key of the `i`-th YCSB record.
+pub fn ycsb_key(index: usize) -> Key {
+    Key::new(format!("usertable:{index}"))
+}
+
+/// Genesis entries for `records` YCSB records, each starting at value 0.
+pub fn ycsb_genesis(records: usize) -> Vec<(Key, Value)> {
+    (0..records)
+        .map(|i| (ycsb_key(i), Value::from_i64(0)))
+        .collect()
+}
+
+/// The YCSB operation mix and locality knobs.
+///
+/// `read_fraction + update_fraction <= 1`; the remainder of the mix is read-modify-write
+/// (the YCSB-F shape). With `shards <= 1` the locality knob is inert and keys are drawn
+/// independently.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct YcsbProfile {
+    /// Fraction of operations that only read.
+    pub read_fraction: f64,
+    /// Fraction of operations that blindly overwrite.
+    pub update_fraction: f64,
+    /// Zipfian skew over the record population (YCSB's default is 0.99).
+    pub theta: f64,
+    /// Operations (distinct keys) per transaction.
+    pub ops_per_txn: usize,
+    /// Fraction of transactions forced to touch at least two shards. Ignored when
+    /// `shards <= 1`.
+    pub cross_shard_fraction: f64,
+    /// How many key-space shards the generator assumes (must match the store's
+    /// `store_shards` for the locality steering to be meaningful; 0 or 1 disables it).
+    pub shards: usize,
+}
+
+impl YcsbProfile {
+    /// YCSB-A: 50% reads / 50% updates, Zipfian 0.99.
+    pub fn a() -> Self {
+        YcsbProfile {
+            read_fraction: 0.5,
+            update_fraction: 0.5,
+            theta: 0.99,
+            ops_per_txn: 4,
+            cross_shard_fraction: 0.0,
+            shards: 0,
+        }
+    }
+
+    /// YCSB-B: 95% reads / 5% updates, Zipfian 0.99.
+    pub fn b() -> Self {
+        YcsbProfile {
+            read_fraction: 0.95,
+            update_fraction: 0.05,
+            ..Self::a()
+        }
+    }
+
+    /// YCSB-F: 50% reads / 50% read-modify-writes, Zipfian 0.99.
+    pub fn f() -> Self {
+        YcsbProfile {
+            read_fraction: 0.5,
+            update_fraction: 0.0,
+            ..Self::a()
+        }
+    }
+
+    /// Returns the profile with the locality knob set: `shards` partitions,
+    /// `cross_shard_fraction` of transactions forced to span at least two of them.
+    pub fn with_cross_shard(self, shards: usize, cross_shard_fraction: f64) -> Self {
+        YcsbProfile {
+            shards,
+            cross_shard_fraction,
+            ..self
+        }
+    }
+
+    /// The implied read-modify-write fraction.
+    pub fn rmw_fraction(&self) -> f64 {
+        (1.0 - self.read_fraction - self.update_fraction).max(0.0)
+    }
+}
+
+/// One YCSB operation inside a transaction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum YcsbOp {
+    /// Read the record.
+    Read {
+        /// Record index.
+        index: usize,
+    },
+    /// Blindly overwrite the record.
+    Update {
+        /// Record index.
+        index: usize,
+        /// The new value.
+        value: i64,
+    },
+    /// Read the record and write a derived value back.
+    ReadModifyWrite {
+        /// Record index.
+        index: usize,
+        /// Added to the read value.
+        delta: i64,
+    },
+}
+
+impl YcsbOp {
+    /// The record index this operation touches.
+    pub fn index(&self) -> usize {
+        match self {
+            YcsbOp::Read { index }
+            | YcsbOp::Update { index, .. }
+            | YcsbOp::ReadModifyWrite { index, .. } => *index,
+        }
+    }
+
+    /// Whether the operation performs a snapshot read.
+    pub fn reads(&self) -> bool {
+        !matches!(self, YcsbOp::Update { .. })
+    }
+}
+
+/// A materialised YCSB transaction template: the operations to run in order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct YcsbTxn {
+    /// The operations, over distinct record indices.
+    pub ops: Vec<YcsbOp>,
+}
+
+impl YcsbTxn {
+    /// Number of snapshot reads (drives the simulator's read-interval timing model).
+    pub fn read_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.reads()).count()
+    }
+
+    /// Runs the transaction's contract logic inside a simulation context.
+    pub fn run(&self, ctx: &mut SimulationContext<'_>) {
+        for op in &self.ops {
+            let key = ycsb_key(op.index());
+            match op {
+                YcsbOp::Read { .. } => {
+                    let _ = ctx.read_balance(&key);
+                }
+                YcsbOp::Update { value, .. } => {
+                    ctx.write(key, Value::from_i64(*value));
+                }
+                YcsbOp::ReadModifyWrite { delta, .. } => {
+                    let current = ctx.read_balance(&key);
+                    ctx.write(key, Value::from_i64(current + delta));
+                }
+            }
+        }
+    }
+}
+
+/// Draws one YCSB transaction: `ops_per_txn` distinct keys steered to the requested locality,
+/// each with an operation from the configured mix.
+pub fn next_ycsb_txn(
+    profile: &YcsbProfile,
+    zipf: &Zipfian,
+    records: usize,
+    rng: &mut StdRng,
+) -> YcsbTxn {
+    let steer = profile.shards > 1 && records > profile.shards;
+    let router = ShardRouter::hash(profile.shards.max(1));
+    let want_cross = steer && rng.gen_bool(profile.cross_shard_fraction.clamp(0.0, 1.0));
+
+    let mut indices: Vec<usize> = Vec::with_capacity(profile.ops_per_txn);
+    let home = zipf.sample(rng);
+    indices.push(home);
+    let home_shard = router.shard_of(&ycsb_key(home));
+    while indices.len() < profile.ops_per_txn.max(1) {
+        // The second key of a cross-shard transaction must leave the home shard; every key of
+        // a local transaction must stay on it. Resampling keeps the Zipfian shape; the bounded
+        // linear probe guarantees termination even under extreme skew.
+        let force_other = want_cross && indices.len() == 1;
+        let force_home = steer && !want_cross;
+        let mut index = zipf.sample(rng);
+        for _ in 0..64 {
+            let shard = router.shard_of(&ycsb_key(index));
+            let ok = if force_other {
+                shard != home_shard
+            } else if force_home {
+                shard == home_shard
+            } else {
+                true
+            };
+            if ok && !indices.contains(&index) {
+                break;
+            }
+            index = zipf.sample(rng);
+        }
+        for _ in 0..records {
+            let shard = router.shard_of(&ycsb_key(index));
+            let ok = if force_other {
+                shard != home_shard
+            } else if force_home {
+                shard == home_shard
+            } else {
+                true
+            };
+            if ok && !indices.contains(&index) {
+                break;
+            }
+            index = (index + 1) % records;
+        }
+        if indices.contains(&index) {
+            break; // Key space exhausted (tiny populations); accept a shorter transaction.
+        }
+        indices.push(index);
+    }
+
+    let ops = indices
+        .into_iter()
+        .map(|index| {
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            if roll < profile.read_fraction {
+                YcsbOp::Read { index }
+            } else if roll < profile.read_fraction + profile.update_fraction {
+                YcsbOp::Update {
+                    index,
+                    value: rng.gen_range(0..1_000_000),
+                }
+            } else {
+                YcsbOp::ReadModifyWrite {
+                    index,
+                    delta: rng.gen_range(1..100),
+                }
+            }
+        })
+        .collect();
+    YcsbTxn { ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn draw(profile: YcsbProfile, records: usize, n: usize, seed: u64) -> Vec<YcsbTxn> {
+        let zipf = Zipfian::new(records, profile.theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| next_ycsb_txn(&profile, &zipf, records, &mut rng))
+            .collect()
+    }
+
+    fn shard_spread(txn: &YcsbTxn, shards: usize) -> usize {
+        let router = ShardRouter::hash(shards);
+        let mut seen: Vec<usize> = Vec::new();
+        for op in &txn.ops {
+            let s = router.shard_of(&ycsb_key(op.index()));
+            if !seen.contains(&s) {
+                seen.push(s);
+            }
+        }
+        seen.len()
+    }
+
+    #[test]
+    fn presets_cover_the_classic_mixes() {
+        assert_eq!(YcsbProfile::a().rmw_fraction(), 0.0);
+        assert!(YcsbProfile::b().read_fraction > 0.9);
+        assert!((YcsbProfile::f().rmw_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn keys_are_distinct_within_a_transaction() {
+        for txn in draw(YcsbProfile::a(), 200, 50, 7) {
+            let mut indices: Vec<usize> = txn.ops.iter().map(YcsbOp::index).collect();
+            let before = indices.len();
+            indices.sort_unstable();
+            indices.dedup();
+            assert_eq!(indices.len(), before, "duplicate key in {txn:?}");
+            assert_eq!(before, 4);
+        }
+    }
+
+    #[test]
+    fn zero_cross_fraction_keeps_every_transaction_local() {
+        let profile = YcsbProfile::a().with_cross_shard(4, 0.0);
+        for txn in draw(profile, 400, 60, 11) {
+            assert_eq!(
+                shard_spread(&txn, 4),
+                1,
+                "local txn crossed shards: {txn:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_cross_fraction_makes_every_transaction_span_shards() {
+        let profile = YcsbProfile::a().with_cross_shard(4, 1.0);
+        for txn in draw(profile, 400, 60, 13) {
+            assert!(
+                shard_spread(&txn, 4) >= 2,
+                "cross txn stayed local: {txn:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn intermediate_fraction_mixes_local_and_cross() {
+        let profile = YcsbProfile::a().with_cross_shard(2, 0.5);
+        let txns = draw(profile, 400, 200, 17);
+        let cross = txns.iter().filter(|t| shard_spread(t, 2) > 1).count();
+        assert!(
+            (40..=160).contains(&cross),
+            "expected roughly half cross-shard, got {cross}/200"
+        );
+    }
+
+    #[test]
+    fn mix_fractions_are_respected_roughly() {
+        let txns = draw(YcsbProfile::b(), 1_000, 250, 23);
+        let (mut reads, mut writes) = (0usize, 0usize);
+        for txn in &txns {
+            for op in &txn.ops {
+                match op {
+                    YcsbOp::Read { .. } => reads += 1,
+                    _ => writes += 1,
+                }
+            }
+        }
+        let total = (reads + writes) as f64;
+        assert!(
+            reads as f64 / total > 0.9,
+            "YCSB-B must be read-dominated: {reads}/{total}"
+        );
+    }
+
+    #[test]
+    fn read_counts_follow_the_ops() {
+        let txn = YcsbTxn {
+            ops: vec![
+                YcsbOp::Read { index: 0 },
+                YcsbOp::Update { index: 1, value: 5 },
+                YcsbOp::ReadModifyWrite { index: 2, delta: 1 },
+            ],
+        };
+        assert_eq!(txn.read_count(), 2);
+        assert_eq!(ycsb_genesis(3).len(), 3);
+    }
+}

@@ -1,0 +1,224 @@
+//! Crash-recovery property tests across store shardings.
+//!
+//! An orderer that restarts mid-run holds the replicated ledger but none of the in-memory
+//! concurrency-control state; `recover_from_ledger` replays the recent suffix into a fresh
+//! controller. Sharding must not change what recovery produces: replaying the same ledger
+//! prefix into an unsharded controller and into 2- and 4-shard controllers must yield the
+//! same post-recovery state — same replay report, same graph contents, same accept/reject
+//! decisions on fresh probes, and the same next block. The state-store side is covered too:
+//! replaying the prefix's committed writes into the unsharded and sharded store backends must
+//! answer every read identically.
+
+use fabricsharp::baselines::{SimpleChain, SystemKind};
+use fabricsharp::common::config::{CcConfig, WorkloadParams};
+use fabricsharp::common::rwset::{Key, Value};
+use fabricsharp::common::version::SeqNo;
+use fabricsharp::common::Transaction;
+use fabricsharp::core::recovery::recover_from_ledger;
+use fabricsharp::core::FabricSharpCC;
+use fabricsharp::ledger::Ledger;
+use fabricsharp::vstore::{StateRead, StateStore, StoreBackend};
+use fabricsharp::workload::generator::{WorkloadGenerator, WorkloadKind};
+use proptest::prelude::*;
+
+/// Drives a live FabricSharp chain over a seeded Smallbank stream and returns its ledger.
+fn build_ledger(num_accounts: usize, num_txns: usize, block_size: usize, seed: u64) -> Ledger {
+    let params = WorkloadParams {
+        num_accounts,
+        ..WorkloadParams::default()
+    };
+    let mut generator =
+        WorkloadGenerator::new(WorkloadKind::MixedSmallbank { theta: 0.7 }, params, seed);
+    let mut chain = SimpleChain::new(SystemKind::FabricSharp);
+    chain.seed(generator.genesis());
+    for i in 0..num_txns {
+        let template = generator.next_template();
+        let txn = chain.execute(|ctx| template.run(ctx));
+        let _ = chain.submit(txn);
+        if (i + 1) % block_size == 0 {
+            chain.seal_block();
+        }
+    }
+    chain.seal_block();
+    chain.ledger().clone()
+}
+
+/// The first `height` blocks of `ledger` as a standalone ledger (the crash point).
+fn prefix_of(ledger: &Ledger, height: u64) -> Ledger {
+    let mut prefix = Ledger::new();
+    for block in ledger.iter().take(height as usize) {
+        prefix.append(block.clone()).expect("prefix blocks chain");
+    }
+    prefix
+}
+
+/// A probe transaction over the Smallbank key space with arbitrary read versions — the kind of
+/// arrival whose verdict depends on everything recovery rebuilt (indices, graph, blooms).
+fn probe_txn(
+    id: u64,
+    num_accounts: usize,
+    height: u64,
+    picks: &[(usize, u64, u32)],
+) -> Transaction {
+    let reads: Vec<(Key, SeqNo)> = picks
+        .iter()
+        .map(|(account, block, seq)| {
+            (
+                Key::new(format!("checking:{}", account % num_accounts)),
+                SeqNo::new(block % (height + 1), seq % 4),
+            )
+        })
+        .collect();
+    let writes: Vec<(Key, Value)> = picks
+        .iter()
+        .map(|(account, _, _)| {
+            (
+                Key::new(format!("savings:{}", account % num_accounts)),
+                Value::from_i64(id as i64),
+            )
+        })
+        .collect();
+    Transaction::from_parts(id, height, reads, writes)
+}
+
+fn recovered(prefix: &Ledger, store_shards: usize) -> FabricSharpCC {
+    let (cc, report) = recover_from_ledger(
+        prefix,
+        CcConfig {
+            store_shards,
+            track_exact_reachability: true,
+            ..CcConfig::default()
+        },
+    )
+    .expect("prefix ledger verifies");
+    assert_eq!(report.ledger_height, prefix.height());
+    cc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Replaying `recover_from_ledger` from a mid-run ledger prefix must produce the same
+    /// controller state for the unsharded and the 2-/4-shard engines: same replay report,
+    /// same graph membership, identical decisions on random probes, and identical next blocks
+    /// when the recovered controllers keep running.
+    #[test]
+    fn recovery_is_identical_across_shardings(
+        seed in any::<u64>(),
+        num_txns in 16usize..48,
+        block_size in 2usize..6,
+        prefix_percent in 30u64..95,
+        probe_picks in proptest::collection::vec(
+            proptest::collection::vec((0usize..16, 0u64..12, 0u32..4), 1..4),
+            4..10,
+        ),
+    ) {
+        let num_accounts = 16usize;
+        let full = build_ledger(num_accounts, num_txns, block_size, seed);
+        // 16+ transactions over 16 accounts always fill at least a couple of blocks.
+        prop_assert!(full.height() >= 2, "degenerate run: height {}", full.height());
+        let cut = (full.height() * prefix_percent / 100).max(1);
+        let prefix = prefix_of(&full, cut);
+
+        let mut reference = recovered(&prefix, 0);
+        let mut two = recovered(&prefix, 2);
+        let mut four = recovered(&prefix, 4);
+
+        // Same replayed graph: membership must agree for every transaction of the prefix.
+        prop_assert_eq!(reference.next_block(), two.next_block());
+        prop_assert_eq!(reference.next_block(), four.next_block());
+        prop_assert_eq!(reference.graph().len(), two.graph().len());
+        prop_assert_eq!(reference.graph().len(), four.graph().len());
+        for block in prefix.iter() {
+            for entry in &block.entries {
+                let id = entry.txn.id;
+                prop_assert_eq!(
+                    reference.graph().contains(id),
+                    two.graph().contains(id),
+                    "graph membership diverged for {:?}", id
+                );
+                prop_assert_eq!(
+                    reference.graph().contains(id),
+                    four.graph().contains(id),
+                    "graph membership diverged for {:?}", id
+                );
+            }
+        }
+
+        // Identical decisions on random probes...
+        for (i, picks) in probe_picks.iter().enumerate() {
+            let txn = probe_txn(10_000 + i as u64, num_accounts, prefix.height(), picks);
+            let d0 = reference.on_arrival(txn.clone()).is_accept();
+            let d2 = two.on_arrival(txn.clone()).is_accept();
+            let d4 = four.on_arrival(txn).is_accept();
+            prop_assert_eq!(d0, d2, "probe {} diverged (2 shards)", i);
+            prop_assert_eq!(d0, d4, "probe {} diverged (4 shards)", i);
+        }
+
+        // ...and identical blocks when the recovered controllers keep running.
+        let b0 = reference.cut_block();
+        let b2 = two.cut_block();
+        let b4 = four.cut_block();
+        prop_assert_eq!(&b0, &b2, "post-recovery block diverged (2 shards)");
+        prop_assert_eq!(&b0, &b4, "post-recovery block diverged (4 shards)");
+    }
+
+    /// The state-store side of recovery: replaying the committed writes of a ledger prefix
+    /// into the unsharded backend and into sharded backends yields identical reads at every
+    /// snapshot height, for every key the run ever touched.
+    #[test]
+    fn store_replay_is_identical_across_shardings(
+        seed in any::<u64>(),
+        num_txns in 16usize..40,
+        block_size in 2usize..6,
+        prefix_percent in 30u64..95,
+    ) {
+        let num_accounts = 12usize;
+        let full = build_ledger(num_accounts, num_txns, block_size, seed);
+        prop_assert!(full.height() >= 2, "degenerate run: height {}", full.height());
+        let cut = (full.height() * prefix_percent / 100).max(1);
+        let prefix = prefix_of(&full, cut);
+
+        let mut backends: Vec<StoreBackend> =
+            vec![StoreBackend::for_shards(0), StoreBackend::for_shards(2), StoreBackend::for_shards(4)];
+        for backend in &mut backends {
+            let params = WorkloadParams { num_accounts, ..WorkloadParams::default() };
+            let generator = WorkloadGenerator::new(
+                WorkloadKind::MixedSmallbank { theta: 0.7 },
+                params,
+                seed,
+            );
+            backend.seed_genesis(generator.genesis());
+            for block in prefix.iter() {
+                let committed: Vec<_> = block.committed().collect();
+                backend.apply_block(block.number(), committed);
+            }
+        }
+
+        let (reference, sharded) = {
+            let (first, rest) = backends.split_first().unwrap();
+            (first, rest)
+        };
+        prop_assert_eq!(reference.last_block(), prefix.height());
+        for candidate in sharded {
+            prop_assert_eq!(reference.last_block(), candidate.last_block());
+            prop_assert_eq!(reference.key_count(), candidate.key_count());
+            prop_assert_eq!(reference.version_count(), candidate.version_count());
+            for account in 0..num_accounts {
+                for key in [
+                    Key::new(format!("checking:{account}")),
+                    Key::new(format!("savings:{account}")),
+                ] {
+                    prop_assert_eq!(reference.latest(&key), candidate.latest(&key));
+                    for block in 0..=prefix.height() {
+                        prop_assert_eq!(
+                            reference.read_at(&key, block).unwrap(),
+                            candidate.read_at(&key, block).unwrap(),
+                            "{} @ {}", key, block
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
