@@ -64,6 +64,24 @@ impl SimpleChain {
         )
     }
 
+    /// Creates a sharded chain whose per-shard graph formation and arrival work fans out
+    /// across `formation_threads` worker threads (`0` = inline). Ledger outcomes are
+    /// bit-identical for every thread count.
+    pub fn with_sharded_formation(
+        kind: SystemKind,
+        store_shards: usize,
+        formation_threads: usize,
+    ) -> Self {
+        Self::with_cc_config(
+            kind,
+            CcConfig {
+                store_shards,
+                formation_threads,
+                ..CcConfig::default()
+            },
+        )
+    }
+
     /// Creates a chain with an explicit concurrency-control configuration
     /// (`cc_config.store_shards` also selects the state-store backend).
     pub fn with_cc_config(kind: SystemKind, cc_config: CcConfig) -> Self {

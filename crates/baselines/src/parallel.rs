@@ -63,6 +63,27 @@ impl ParallelChain {
         )
     }
 
+    /// Creates a chain that stacks all three concurrency knobs: `endorser_shards` endorsement
+    /// workers, `store_shards` key-space store/graph shards, and `formation_threads` graph
+    /// workers fanning out the per-shard formation and arrival work. Ledger outcomes are
+    /// bit-identical for every combination.
+    pub fn with_sharded_formation(
+        kind: SystemKind,
+        endorser_shards: usize,
+        store_shards: usize,
+        formation_threads: usize,
+    ) -> Self {
+        Self::with_cc_config(
+            kind,
+            CcConfig {
+                store_shards,
+                formation_threads,
+                ..CcConfig::default()
+            },
+            endorser_shards,
+        )
+    }
+
     /// Creates a chain with an explicit concurrency-control configuration
     /// (`cc_config.store_shards` also selects the state-store backend).
     pub fn with_cc_config(kind: SystemKind, cc_config: CcConfig, endorser_shards: usize) -> Self {

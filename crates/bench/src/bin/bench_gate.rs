@@ -8,15 +8,18 @@
 //! Re-times the `graph_commit_path` operations, the `reachability_engine` group
 //! (`topo_sort_pending` / `would_close_cycle`, dense engine vs the retained naive reference)
 //! and the whole-orderer arrival + formation path — including the ww-restoration-heavy input
-//! and the sharded (`store_shards = 2`) vs unsharded engines on Smallbank and cross-shard
-//! YCSB — with a median-of-runs harness, then compares each median against
-//! `BENCH_BASELINE.json` at the repository root. A benchmark fails the gate when it lands outside the tolerance band
-//! (±20% by default; `FABRICSHARP_GATE_TOLERANCE=0.35` widens it to ±35%). Two structural
+//! (unsharded, sharded, and parallel-formation `S=4/W=2` variants), the sharded
+//! (`store_shards = 2`) vs unsharded engines, and the worker-pool coordinator
+//! (`S=4/W=2` cross-shard YCSB) — with a median-of-runs harness, then compares each median
+//! against `BENCH_BASELINE.json` at the repository root. A benchmark fails the gate when it lands outside the tolerance band
+//! (±20% by default; `FABRICSHARP_GATE_TOLERANCE=0.35` widens it to ±35%). Three structural
 //! checks are machine-independent and always enforced:
 //!
 //! * `topo_sort_pending` on the dense engine must be ≥ 5× faster than the naive reference at
-//!   512 pending transactions (the tentpole acceptance criterion), and
-//! * the miss-path `would_close_cycle` must not be slower than the naive pair scan.
+//!   512 pending transactions (the tentpole acceptance criterion),
+//! * the miss-path `would_close_cycle` must not be slower than the naive pair scan, and
+//! * the inline, sharded and parallel-formation paths must commit the **identical** id order
+//!   on the ww-heavy and cross-shard inputs (the determinism hard check).
 //!
 //! Exit codes: 0 — pass (or baseline recorded); 1 — regression / structural failure;
 //! 2 — baseline missing or unreadable (run with `--record` first). CI runs this as a
@@ -128,15 +131,34 @@ fn ww_heavy_txns() -> Vec<Transaction> {
 
 /// Runs the full FabricSharp orderer path — every arrival plus one block cut — and returns
 /// the committed count (keeps the optimiser honest).
-fn arrival_and_cut(txns: &[Transaction], store_shards: usize) -> u64 {
+fn arrival_and_cut(txns: &[Transaction], store_shards: usize, formation_threads: usize) -> u64 {
     let mut cc = FabricSharpCC::new(CcConfig {
         store_shards,
+        formation_threads,
         ..CcConfig::default()
     });
     for txn in txns {
         let _ = cc.on_arrival(txn.clone());
     }
     cc.cut_block().len() as u64
+}
+
+/// Like [`arrival_and_cut`] but returns the committed transaction ids in block order — the
+/// artefact the structural inline-vs-parallel identity check compares exactly.
+fn arrival_and_cut_ids(
+    txns: &[Transaction],
+    store_shards: usize,
+    formation_threads: usize,
+) -> Vec<u64> {
+    let mut cc = FabricSharpCC::new(CcConfig {
+        store_shards,
+        formation_threads,
+        ..CcConfig::default()
+    });
+    for txn in txns {
+        let _ = cc.on_arrival(txn.clone());
+    }
+    cc.cut_block().iter().map(|t| t.id.0).collect()
 }
 
 /// Shared inputs for the gated benchmarks, built once so individual benchmarks can be
@@ -175,11 +197,14 @@ impl BenchContext {
         &[
             "build_layered_512",
             "formation_ww_restore_400",
+            "formation_ww_restore_400_s4",
+            "formation_ww_restore_400_s4_w2",
             "mark_committed_all_1600",
             "remove_half_1600",
             "sharp_smallbank200_sharded_s2",
             "sharp_smallbank200_unsharded",
             "sharp_ycsb_cross200_sharded_s2",
+            "sharp_ycsb_cross200_sharded_s4_w2",
             "sharp_ycsb_cross200_unsharded",
             "topo_sort_pending_512",
             "topo_sort_pending_naive_512",
@@ -236,14 +261,23 @@ impl BenchContext {
                 g.len() as u64
             }),
             "build_layered_512" => median_ns(|| layered(512, 3).len() as u64),
-            "formation_ww_restore_400" => median_ns(|| arrival_and_cut(&self.ww_heavy, 0)),
-            "sharp_smallbank200_unsharded" => median_ns(|| arrival_and_cut(&self.smallbank200, 0)),
-            "sharp_smallbank200_sharded_s2" => median_ns(|| arrival_and_cut(&self.smallbank200, 2)),
+            "formation_ww_restore_400" => median_ns(|| arrival_and_cut(&self.ww_heavy, 0, 0)),
+            "formation_ww_restore_400_s4" => median_ns(|| arrival_and_cut(&self.ww_heavy, 4, 0)),
+            "formation_ww_restore_400_s4_w2" => median_ns(|| arrival_and_cut(&self.ww_heavy, 4, 2)),
+            "sharp_smallbank200_unsharded" => {
+                median_ns(|| arrival_and_cut(&self.smallbank200, 0, 0))
+            }
+            "sharp_smallbank200_sharded_s2" => {
+                median_ns(|| arrival_and_cut(&self.smallbank200, 2, 0))
+            }
             "sharp_ycsb_cross200_unsharded" => {
-                median_ns(|| arrival_and_cut(&self.ycsb_cross200, 0))
+                median_ns(|| arrival_and_cut(&self.ycsb_cross200, 0, 0))
             }
             "sharp_ycsb_cross200_sharded_s2" => {
-                median_ns(|| arrival_and_cut(&self.ycsb_cross200, 2))
+                median_ns(|| arrival_and_cut(&self.ycsb_cross200, 2, 0))
+            }
+            "sharp_ycsb_cross200_sharded_s4_w2" => {
+                median_ns(|| arrival_and_cut(&self.ycsb_cross200, 4, 2))
             }
             other => unreachable!("unknown benchmark {other}"),
         }
@@ -338,10 +372,38 @@ fn main() {
         );
         failures += 1;
     }
+    // Structural determinism check, machine-independent and always enforced: the parallel
+    // formation path (S shards × W workers) must produce the *identical* committed id order
+    // as the inline sharded path and the unsharded reference, on both the ww-restoration-heavy
+    // input (per-shard decomposed restore) and the cross-shard YCSB input (coordinator path).
+    for (input_name, txns) in [
+        ("ww_heavy_400", &ctx.ww_heavy),
+        ("ycsb_cross200", &ctx.ycsb_cross200),
+    ] {
+        let reference = arrival_and_cut_ids(txns, 0, 0);
+        let inline_s4 = arrival_and_cut_ids(txns, 4, 0);
+        let parallel_s4_w2 = arrival_and_cut_ids(txns, 4, 2);
+        if reference == inline_s4 && reference == parallel_s4_w2 {
+            println!(
+                "  OK   {input_name}: inline/sharded/parallel commit orders identical ({} txns)",
+                reference.len()
+            );
+        } else {
+            println!(
+                "  FAIL {input_name}: commit orders diverged between inline and parallel formation"
+            );
+            failures += 1;
+        }
+    }
     println!(
         "  INFO sharded s2 / unsharded arrival+cut: smallbank {:.2}x, ycsb-cross {:.2}x",
         results["sharp_smallbank200_sharded_s2"] / results["sharp_smallbank200_unsharded"],
         results["sharp_ycsb_cross200_sharded_s2"] / results["sharp_ycsb_cross200_unsharded"],
+    );
+    println!(
+        "  INFO parallel formation (S=4): ww-restore W2/W0 {:.2}x, ycsb-cross W2/unsharded {:.2}x",
+        results["formation_ww_restore_400_s4_w2"] / results["formation_ww_restore_400_s4"],
+        results["sharp_ycsb_cross200_sharded_s4_w2"] / results["sharp_ycsb_cross200_unsharded"],
     );
     println!();
 

@@ -69,6 +69,13 @@ pub struct CcConfig {
     /// bit-for-bit the same ledgers (asserted by `tests/sharding_determinism.rs`); the knob
     /// trades single-path simplicity for independently scalable shards.
     pub store_shards: usize,
+    /// Number of worker threads the *sharded* dependency-graph engine fans its per-shard
+    /// arrival and formation work out on (border node-copy inserts, per-shard formation topo
+    /// sorts, per-shard ww restoration, pruning). `0` (the default) runs everything inline on
+    /// the driver thread — the reference path; with `store_shards == 0` the knob is inert
+    /// (the flat engine has no per-shard decomposition). Every `W` produces bit-for-bit the
+    /// same ledgers (asserted by `tests/parallel_formation_determinism.rs`).
+    pub formation_threads: usize,
 }
 
 impl Default for CcConfig {
@@ -79,6 +86,7 @@ impl Default for CcConfig {
             bloom_hashes: 3,
             track_exact_reachability: false,
             store_shards: 0,
+            formation_threads: 0,
         }
     }
 }
@@ -99,6 +107,11 @@ impl CcConfig {
         if self.bloom_hashes == 0 || self.bloom_hashes > 16 {
             return Err(crate::error::CommonError::InvalidConfig(
                 "bloom_hashes must be in 1..=16".into(),
+            ));
+        }
+        if self.formation_threads > 256 {
+            return Err(crate::error::CommonError::InvalidConfig(
+                "formation_threads must be at most 256".into(),
             ));
         }
         Ok(())

@@ -164,6 +164,93 @@ where
     }
 }
 
+/// A long-fork / equivocation schedule (the classic safety attack a reordering orderer must
+/// not mask): the leader presents every replica the same prefix, then *equivocates*, feeding
+/// one partition of replicas a different suffix order (or different suffix contents) than the
+/// other. Honest replicas are deterministic, so within a partition they still agree — the
+/// attack only becomes visible when chains are compared *across* partitions, which is exactly
+/// what [`audit_fork`] does.
+pub struct EquivocatingLeader {
+    /// Number of leading submissions proposed identically to both partitions.
+    pub fork_after: usize,
+    /// Whether the leader has actually equivocated yet (diagnostics for tests: a stream
+    /// shorter than the prefix never forks).
+    pub equivocated: bool,
+}
+
+impl EquivocatingLeader {
+    /// Creates a leader that equivocates after `fork_after` submissions.
+    pub fn new(fork_after: usize) -> Self {
+        EquivocatingLeader {
+            fork_after,
+            equivocated: false,
+        }
+    }
+
+    /// Proposes the batch twice: partition A receives the submissions in arrival order;
+    /// partition B receives the shared prefix followed by the remaining suffix in *reversed*
+    /// order — a minimal long-fork schedule (both partitions see every transaction, but after
+    /// the fork point their total orders, and hence their reordering decisions and block
+    /// hashes, may diverge).
+    pub fn propose_fork(
+        &mut self,
+        submissions: Vec<ClientSubmission>,
+    ) -> (Vec<ClientSubmission>, Vec<ClientSubmission>) {
+        let branch_a = submissions.clone();
+        let mut branch_b = submissions;
+        // A suffix of at least two is required for the reversal to actually diverge; a
+        // one-element suffix reverses to itself and equivocates nothing.
+        if branch_b.len() > self.fork_after.saturating_add(1) {
+            branch_b[self.fork_after..].reverse();
+            self.equivocated = true;
+        }
+        (branch_a, branch_b)
+    }
+}
+
+/// Outcome of auditing two replicas' chains for a long fork.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForkVerdict {
+    /// One chain's per-height commitments are a prefix of the other's: the replicas agree on
+    /// everything both have sealed (one may simply lag).
+    Converged {
+        /// Heights both chains have sealed (and agree on).
+        common_height: usize,
+    },
+    /// The chains disagree on a sealed height: evidence of leader equivocation. Safety
+    /// demands this is *detected*, never silently reconciled.
+    Forked {
+        /// First height (1-based) whose commitments differ.
+        first_divergent_height: usize,
+    },
+}
+
+impl ForkVerdict {
+    /// Whether the audit found a fork.
+    pub fn is_forked(&self) -> bool {
+        matches!(self, ForkVerdict::Forked { .. })
+    }
+}
+
+/// Audits two replicas' chains — given as per-height block commitments (block hashes in a
+/// real deployment) — for a long fork. Comparing hashes height by height is the detection
+/// half of the "converge or detect" obligation: honest replicas fed the same total order
+/// produce identical chains (`tests/replication_determinism.rs`), so any sealed-height
+/// mismatch is cryptographic evidence of equivocation.
+pub fn audit_fork<T: PartialEq>(a: &[T], b: &[T]) -> ForkVerdict {
+    let common = a.len().min(b.len());
+    for height in 0..common {
+        if a[height] != b[height] {
+            return ForkVerdict::Forked {
+                first_divergent_height: height + 1,
+            };
+        }
+    }
+    ForkVerdict::Converged {
+        common_height: common,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +318,63 @@ mod tests {
             },
         };
         assert!(sub.reveal().is_err());
+    }
+
+    #[test]
+    fn equivocating_leader_shares_the_prefix_and_forks_the_suffix() {
+        let mut leader = EquivocatingLeader::new(2);
+        let subs: Vec<ClientSubmission> = (1..=5)
+            .map(|id| ClientSubmission::Plain(victim_txn(id)))
+            .collect();
+        let (a, b) = leader.propose_fork(subs);
+        assert!(leader.equivocated);
+        let ids = |branch: Vec<ClientSubmission>| -> Vec<u64> {
+            branch
+                .into_iter()
+                .map(|s| s.reveal().unwrap().id.0)
+                .collect()
+        };
+        assert_eq!(ids(a), vec![1, 2, 3, 4, 5]);
+        assert_eq!(ids(b), vec![1, 2, 5, 4, 3], "suffix order equivocated");
+
+        // A stream that never reaches the fork point cannot equivocate.
+        let mut honest_range = EquivocatingLeader::new(10);
+        let (a, b) = honest_range.propose_fork(
+            (1..=3)
+                .map(|id| ClientSubmission::Plain(victim_txn(id)))
+                .collect(),
+        );
+        assert!(!honest_range.equivocated);
+        assert_eq!(ids(a), ids(b));
+    }
+
+    #[test]
+    fn audit_fork_distinguishes_lag_from_divergence() {
+        // Identical chains converge.
+        assert_eq!(
+            audit_fork(&[1u64, 2, 3], &[1, 2, 3]),
+            ForkVerdict::Converged { common_height: 3 }
+        );
+        // A strict prefix is lag, not a fork.
+        assert_eq!(
+            audit_fork(&[1u64, 2, 3], &[1, 2]),
+            ForkVerdict::Converged { common_height: 2 }
+        );
+        // A sealed-height mismatch is a fork at the first divergent height, even if later
+        // entries happen to collide again.
+        let verdict = audit_fork(&[1u64, 2, 3, 9], &[1, 7, 3, 9]);
+        assert_eq!(
+            verdict,
+            ForkVerdict::Forked {
+                first_divergent_height: 2
+            }
+        );
+        assert!(verdict.is_forked());
+        // Empty chains trivially converge.
+        assert_eq!(
+            audit_fork::<u64>(&[], &[]),
+            ForkVerdict::Converged { common_height: 0 }
+        );
     }
 
     #[test]

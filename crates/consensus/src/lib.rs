@@ -15,7 +15,10 @@ pub mod log;
 pub mod orderer;
 pub mod replica;
 
-pub use adversary::{ClientSubmission, FrontRunningLeader, HonestLeader, LeaderPolicy};
+pub use adversary::{
+    audit_fork, ClientSubmission, EquivocatingLeader, ForkVerdict, FrontRunningLeader,
+    HonestLeader, LeaderPolicy,
+};
 pub use log::{ConsensusLog, LogCursor, LogProducer, Submission};
 pub use orderer::{BlockCutter, CutBatch, CutReason};
 pub use replica::{OrdererReplica, ReplicaSet};

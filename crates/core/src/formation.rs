@@ -28,11 +28,14 @@ impl FabricSharpCC {
         }
         let block_no = self.next_block;
 
-        // Step 1: compute the commit order (topological sort over reachability).
+        // Step 1: compute the commit order (topological sort over reachability). The `_par`
+        // entry point fans the sharded engine's per-shard sorts out across the formation
+        // worker pool when one is configured; the k-way merge behind it re-imposes the same
+        // deterministic order the inline sort computes.
         let t_order = Instant::now();
         let order: Vec<TxnId> = self
             .graph
-            .topo_sort_pending()
+            .topo_sort_pending_par()
             .into_iter()
             .filter(|id| self.pending_txns.contains_key(&id.0))
             .collect();
@@ -96,7 +99,7 @@ impl FabricSharpCC {
         // Split borrows: the PW iteration only reads `indices` while the edge restoration
         // mutates `graph` — destructuring lets the borrow checker see they are disjoint, so
         // the per-block `String`/`Vec` clones of the key lists (the ROADMAP-named hot spot)
-        // are gone and the loop works on borrowed slices plus one reusable writer buffer.
+        // are gone and the chains are built from borrowed slices.
         let FabricSharpCC { indices, graph, .. } = self;
 
         let mut head_txns: Vec<TxnId> = Vec::new();
@@ -108,16 +111,42 @@ impl FabricSharpCC {
             indices.iter_pw().collect();
         keyed.sort_by(|a, b| a.1.cmp(b.1));
 
-        let mut writers: Vec<TxnId> = Vec::new();
-        for (shard, _key, txns) in keyed {
-            // Only pending writers that made it into the order matter here.
-            writers.clear();
-            writers.extend(txns.iter().copied().filter(|t| position.contains_key(t)));
-            if writers.len() < 2 {
-                continue;
-            }
-            writers.sort_by_key(|t| position[t]);
+        // Per-key writer chains, one construction shared by both execution paths below: only
+        // pending writers that made it into the order matter, and a chain needs at least two
+        // of them to induce an edge.
+        let chains: Vec<(usize, Vec<TxnId>)> = keyed
+            .into_iter()
+            .filter_map(|(shard, _key, txns)| {
+                let mut writers: Vec<TxnId> = txns
+                    .iter()
+                    .copied()
+                    .filter(|t| position.contains_key(t))
+                    .collect();
+                if writers.len() < 2 {
+                    return None;
+                }
+                writers.sort_by_key(|t| position[t]);
+                Some((shard, writers))
+            })
+            .collect();
 
+        // Parallel decomposition: with a formation worker pool attached and no live border
+        // transaction, every per-key writer chain and its downstream closure stays inside the
+        // shard owning the key, so the whole restoration + propagation step decomposes into
+        // independent per-shard jobs (operations on disjoint shards commute, hence the result
+        // is bit-identical to the sequential interleaving below — pinned by the depgraph
+        // proptests and end-to-end by `tests/parallel_formation_determinism.rs`).
+        if graph.can_restore_ww_per_shard() {
+            let mut chains_by_shard: std::collections::BTreeMap<usize, Vec<Vec<TxnId>>> =
+                std::collections::BTreeMap::new();
+            for (shard, writers) in chains {
+                chains_by_shard.entry(shard).or_default().push(writers);
+            }
+            graph.restore_ww_chains(chains_by_shard.into_iter().collect());
+            return;
+        }
+
+        for (shard, writers) in chains {
             // Connect every consecutive pair that is not already connected; pairs already
             // connected (like Txn0 → Txn3 in Figure 9) are implicit. The paper's Algorithm 5
             // restores only the *first* unconnected pair per key, but with three or more
@@ -126,8 +155,8 @@ impl FabricSharpCC {
             // (caught by the `formation_properties` property test). Restoring every
             // consecutive pair keeps the graph acyclic (edges always follow the commit order)
             // and is therefore a strictly safe strengthening.
-            for i in 0..writers.len() - 1 {
-                let (first, second) = (writers[i], writers[i + 1]);
+            for pair in writers.windows(2) {
+                let (first, second) = (pair[0], pair[1]);
                 if graph.already_connected(first, second) {
                     continue;
                 }

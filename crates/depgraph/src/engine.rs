@@ -22,12 +22,26 @@ pub enum GraphEngine {
 }
 
 impl GraphEngine {
-    /// Builds the engine selected by `config.store_shards`.
+    /// Builds the engine selected by `config.store_shards`; `config.formation_threads` attaches
+    /// the sharded engine's worker pool (inert for the flat engine, which has no per-shard
+    /// decomposition to fan out).
     pub fn new(config: CcConfig) -> Self {
         if config.store_shards == 0 {
             GraphEngine::Global(DependencyGraph::new(config))
         } else {
-            GraphEngine::Sharded(ShardedDependencyGraph::new(config, config.store_shards))
+            GraphEngine::Sharded(
+                ShardedDependencyGraph::new(config, config.store_shards)
+                    .with_formation_threads(config.formation_threads),
+            )
+        }
+    }
+
+    /// Number of worker threads the sharded engine fans per-shard work out on (0 = inline,
+    /// and always 0 for the flat engine).
+    pub fn formation_threads(&self) -> usize {
+        match self {
+            GraphEngine::Global(_) => 0,
+            GraphEngine::Sharded(g) => g.formation_threads(),
         }
     }
 
@@ -154,6 +168,38 @@ impl GraphEngine {
         match self {
             GraphEngine::Global(g) => g.topo_sort_pending(),
             GraphEngine::Sharded(g) => g.topo_sort_pending(),
+        }
+    }
+
+    /// Worker-pool variant of [`GraphEngine::topo_sort_pending`]: the sharded engine fans its
+    /// per-shard sorts out when a pool is attached; output is bit-identical either way. This
+    /// is what block formation calls.
+    pub fn topo_sort_pending_par(&mut self) -> Vec<TxnId> {
+        match self {
+            GraphEngine::Global(g) => g.topo_sort_pending(),
+            GraphEngine::Sharded(g) => g.topo_sort_pending_par(),
+        }
+    }
+
+    /// Whether Algorithm 5's ww restoration may be decomposed per shard and fanned out on the
+    /// worker pool ([`GraphEngine::restore_ww_chains`]); always false for the flat engine.
+    pub fn can_restore_ww_per_shard(&self) -> bool {
+        match self {
+            GraphEngine::Global(_) => false,
+            GraphEngine::Sharded(g) => g.can_restore_ww_per_shard(),
+        }
+    }
+
+    /// Algorithm 5 decomposed per shard (valid only when
+    /// [`GraphEngine::can_restore_ww_per_shard`] holds): restores the per-key writer chains
+    /// grouped by owning shard and propagates downstream inside each shard, fanning the
+    /// independent shards out on the worker pool.
+    pub fn restore_ww_chains(&mut self, chains_by_shard: Vec<(usize, Vec<Vec<TxnId>>)>) {
+        match self {
+            GraphEngine::Global(_) => {
+                unreachable!("callers gate on can_restore_ww_per_shard, which is false here")
+            }
+            GraphEngine::Sharded(g) => g.restore_ww_chains(chains_by_shard),
         }
     }
 

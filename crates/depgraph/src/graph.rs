@@ -620,6 +620,33 @@ impl DependencyGraph {
         }
     }
 
+    /// Moves `id`'s reachability set out of the node, leaving a placeholder. The cross-shard
+    /// coordinator borrows a node's set as the downstream-walk delta this way instead of
+    /// cloning it (the clone was the dominant coordinator cost at production bloom sizes);
+    /// callers must hand the set back via [`DependencyGraph::replace_reach`] before anyone
+    /// can observe the placeholder.
+    pub fn take_reach(&mut self, id: TxnId) -> Option<ReachSet> {
+        let slot = self.interner.get(id)?;
+        let node = self.nodes[slot as usize]
+            .as_mut()
+            .expect("interned slots are live");
+        Some(std::mem::replace(
+            &mut node.anti_reachable,
+            ReachSet::placeholder(),
+        ))
+    }
+
+    /// Calls `f` with each immediate successor id of `id` — the allocation-free counterpart of
+    /// [`DependencyGraph::successors`], used by the cross-shard coordinator's epoch-scratch
+    /// walks. A no-op for untracked ids.
+    pub(crate) fn for_each_successor(&self, id: TxnId, mut f: impl FnMut(TxnId)) {
+        if let Some(node) = self.node(id) {
+            for &s in &node.succ {
+                f(self.interner.id_at(s));
+            }
+        }
+    }
+
     /// Adds a dependency edge `from → to` between two existing nodes and unions `from`'s
     /// reachability (plus `from` itself) into `to`. Used by the ww-restoration step
     /// (Algorithm 5), which then propagates further downstream itself in topological order.

@@ -84,6 +84,12 @@ impl Interner {
     pub fn id_at(&self, slot: u32) -> TxnId {
         TxnId(self.ids[slot as usize])
     }
+
+    /// Iterates every live interned id, in arbitrary order (order-insensitive consumers only,
+    /// e.g. whole-graph test oracles).
+    pub fn live_ids(&self) -> impl Iterator<Item = TxnId> + '_ {
+        self.map.keys().map(|&id| TxnId(id))
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,9 @@
 //!   shard, plus the cross-shard coordinator that tracks border transactions and keeps every
 //!   node copy carrying the *global* reach set (so cycle checks and the topo merge stay
 //!   bit-identical to the unsharded engine).
+//! * [`parallel`] — the reusable worker pool the sharded engine fans its per-shard arrival
+//!   and formation work out on (`CcConfig::formation_threads`); every thread count produces
+//!   bit-identical ledgers.
 //! * [`engine`] — [`engine::GraphEngine`], the orderer-facing dispatch between the global and
 //!   sharded variants, selected by `CcConfig::store_shards`.
 
@@ -30,6 +33,7 @@ pub mod cycle;
 pub mod engine;
 pub mod graph;
 pub mod interner;
+pub mod parallel;
 pub mod prune;
 pub mod rebuild;
 pub mod reference;
@@ -41,6 +45,7 @@ pub use bloom::{BloomFilter, RelayBloom};
 pub use engine::GraphEngine;
 pub use graph::{CycleCheck, DependencyGraph, InsertReport, PendingTxnSpec, ReachSet, TxnNode};
 pub use interner::Interner;
+pub use parallel::{ShardJob, ShardOutcome, ShardPool};
 pub use prune::snapshot_threshold;
 pub use reference::NaiveGraph;
 pub use sharded::{ShardDeps, ShardedDependencyGraph};

@@ -26,16 +26,43 @@
 //! That is the foundation of the `sharding_determinism` ledger-identity guarantee, and the
 //! module's property tests pin it directly against a global reference graph.
 //!
+//! # Coordinator scratch
+//!
+//! The coordinator interns every tracked transaction into a dense *global* slot space
+//! ([`crate::interner::Interner`]), parallel to the per-shard interners, and runs all of its
+//! cross-shard walks (the Algorithm 4 downstream walk, the formation closure sweep, the
+//! Algorithm 5 propagation order, exact reachability) on reusable epoch-tagged visited sets
+//! ([`crate::visited::EpochVisited`]) over that slot space — the same allocation-free scratch
+//! discipline the local engine adopted in the dense-engine rewrite. Walk deltas are *moved*
+//! out of a node copy for the duration of a walk and moved back (never cloned), so a warm
+//! coordinator updates reachability without allocating.
+//!
+//! # Worker threads
+//!
+//! With [`ShardedDependencyGraph::with_formation_threads`] the engine attaches a reusable
+//! [`ShardPool`]: border-transaction node copies are inserted on workers (one per touched
+//! shard), the per-shard pending topo sorts behind the formation k-way merge fan out, ww
+//! restoration decomposes per shard whenever no border transaction is live, and pruning runs
+//! per shard. Every parallel path re-assembles results deterministically, so ledgers are
+//! bit-identical at every thread count (`tests/parallel_formation_determinism.rs`); `W = 0`
+//! keeps the inline reference path.
+//!
 //! This mirrors the per-partition reasoning of transaction-template robustness work
 //! (Vandevoort et al., arXiv:2201.05021): conflicts decompose per key partition, and only the
 //! border transactions require cross-partition reasoning.
 
+use crate::bloom::BloomFilter;
 use crate::graph::{CycleCheck, DependencyGraph, InsertReport, PendingTxnSpec, TxnNode};
+use crate::interner::Interner;
+use crate::parallel::{ShardJob, ShardOutcome, ShardPool};
+use crate::visited::EpochVisited;
 use eov_common::config::CcConfig;
 use eov_common::rwset::Key;
 use eov_common::txn::TxnId;
 use eov_common::version::SeqNo;
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// One shard's slice of a new transaction: the keys it touches there and the dependency edges
 /// induced by those keys.
@@ -91,13 +118,28 @@ impl PendingOrder {
     }
 }
 
+/// Reusable coordinator traversal scratch (the cross-shard counterpart of the local engine's
+/// `graph::Scratch`). Lives behind a `RefCell` because several walk entry points take `&self`.
+#[derive(Clone, Debug, Default)]
+struct CoordScratch {
+    /// Visited set over the coordinator's global slot space.
+    visited: EpochVisited,
+    /// DFS stack of global slots.
+    stack: Vec<u32>,
+    /// Per-successor (global slot, bloom hash pair) cache for the arrival-time cycle probe.
+    succ_info: Vec<(Option<u32>, (u64, u64))>,
+}
+
 /// The sharded dependency graph: `S` per-shard graphs plus the border-transaction coordinator.
 #[derive(Clone, Debug)]
 pub struct ShardedDependencyGraph {
     config: CcConfig,
     shards: Vec<DependencyGraph>,
-    /// Coordinator state: txn id → home shards (ascending). `len() > 1` marks a border txn.
-    homes: HashMap<u64, Vec<usize>>,
+    /// Coordinator interner: txn id → dense global slot (independent of the per-shard slots).
+    gid: Interner,
+    /// Home shards (ascending) per global slot; stale for vacant slots. `len() > 1` marks a
+    /// border transaction.
+    homes_at: Vec<Vec<usize>>,
     /// Live border transactions per shard; a shard with zero border txns runs entirely on its
     /// local fast path (its downstream closures cannot leave the shard).
     border_in_shard: Vec<usize>,
@@ -105,20 +147,41 @@ pub struct ShardedDependencyGraph {
     /// the per-shard graphs and the coordinator is bypassed everywhere.
     border_total: usize,
     pending: PendingOrder,
+    scratch: RefCell<CoordScratch>,
+    /// Worker pool for the per-shard arrival/formation fan-out; `None` is the inline (`W = 0`)
+    /// reference mode. Shared (not re-spawned) across clones.
+    pool: Option<Arc<ShardPool>>,
 }
 
 impl ShardedDependencyGraph {
-    /// Creates an empty sharded graph with `shards` partitions (clamped to at least 1).
+    /// Creates an empty sharded graph with `shards` partitions (clamped to at least 1),
+    /// running in the inline (`W = 0`) execution mode.
     pub fn new(config: CcConfig, shards: usize) -> Self {
         let shards = shards.max(1);
         ShardedDependencyGraph {
             shards: (0..shards).map(|_| DependencyGraph::new(config)).collect(),
             config,
-            homes: HashMap::new(),
+            gid: Interner::new(),
+            homes_at: Vec::new(),
             border_in_shard: vec![0; shards],
             border_total: 0,
             pending: PendingOrder::default(),
+            scratch: RefCell::new(CoordScratch::default()),
+            pool: None,
         }
+    }
+
+    /// Attaches a reusable worker pool of `threads` workers for the per-shard arrival and
+    /// formation fan-out. `0` keeps (or restores) the inline reference mode. Every thread
+    /// count produces bit-identical results.
+    pub fn with_formation_threads(mut self, threads: usize) -> Self {
+        self.pool = (threads > 0).then(|| Arc::new(ShardPool::new(threads)));
+        self
+    }
+
+    /// Number of formation worker threads (0 in inline mode).
+    pub fn formation_threads(&self) -> usize {
+        self.pool.as_ref().map(|p| p.threads()).unwrap_or(0)
     }
 
     /// The configuration the graph was built with.
@@ -138,17 +201,17 @@ impl ShardedDependencyGraph {
 
     /// Number of distinct transactions currently tracked.
     pub fn len(&self) -> usize {
-        self.homes.len()
+        self.gid.len()
     }
 
     /// Whether no transaction is tracked.
     pub fn is_empty(&self) -> bool {
-        self.homes.is_empty()
+        self.gid.is_empty()
     }
 
     /// Whether `id` is currently tracked.
     pub fn contains(&self, id: TxnId) -> bool {
-        self.homes.contains_key(&id.0)
+        self.gid.get(id).is_some()
     }
 
     /// Number of live border (multi-shard) transactions.
@@ -158,7 +221,10 @@ impl ShardedDependencyGraph {
 
     /// Whether `id` is a border transaction.
     pub fn is_border(&self, id: TxnId) -> bool {
-        self.homes.get(&id.0).map(|h| h.len() > 1).unwrap_or(false)
+        self.gid
+            .get(id)
+            .map(|slot| self.homes_at[slot as usize].len() > 1)
+            .unwrap_or(false)
     }
 
     /// Number of pending transactions (globally).
@@ -171,15 +237,32 @@ impl ShardedDependencyGraph {
         self.pending.iter().collect()
     }
 
+    /// The home shards of a tracked transaction (ascending).
+    fn homes(&self, id: TxnId) -> Option<&[usize]> {
+        let slot = self.gid.get(id)?;
+        Some(&self.homes_at[slot as usize])
+    }
+
+    /// Records `id`'s home shards under a (possibly recycled) global slot.
+    fn record_homes(&mut self, id: TxnId, homes: Vec<usize>) -> u32 {
+        let slot = self.gid.intern(id);
+        if slot as usize == self.homes_at.len() {
+            self.homes_at.push(homes);
+        } else {
+            self.homes_at[slot as usize] = homes;
+        }
+        slot
+    }
+
     /// One of `id`'s node copies (they agree on everything except per-shard edges).
     pub fn node(&self, id: TxnId) -> Option<&TxnNode> {
-        let homes = self.homes.get(&id.0)?;
+        let homes = self.homes(id)?;
         self.shards[homes[0]].node(id)
     }
 
     /// The union of `id`'s immediate successors across its home shards (deduplicated).
     pub fn successors_global(&self, id: TxnId) -> Vec<TxnId> {
-        let Some(homes) = self.homes.get(&id.0) else {
+        let Some(homes) = self.homes(id) else {
             return Vec::new();
         };
         if homes.len() == 1 {
@@ -199,34 +282,54 @@ impl ShardedDependencyGraph {
     /// Section 4.4's cycle test over the global reach sets. Identical verdict (bit for bit,
     /// including bloom false positives) to the unsharded graph thanks to the reachability
     /// invariant: any copy of a predecessor carries the merged global filter, so one probe per
-    /// pair suffices no matter how many shards the path crosses.
+    /// pair suffices no matter how many shards the path crosses. Like the local engine, each
+    /// candidate successor's double-hashing pair is precomputed once (on the coordinator
+    /// scratch), so the pair scan costs one filter probe per pair.
     pub fn would_close_cycle(&self, preds: &[TxnId], succs: &[TxnId]) -> CycleCheck {
-        for &p in preds {
-            let p_node = self.node(p);
-            for &s in succs {
-                if p == s {
-                    return CycleCheck::Cycle {
-                        confirmed_exact: Some(true),
+        let mut hit: Option<(TxnId, TxnId)> = None;
+        {
+            let mut scratch = self.scratch.borrow_mut();
+            scratch.succ_info.clear();
+            for s in succs {
+                scratch
+                    .succ_info
+                    .push((self.gid.get(*s), BloomFilter::hash_pair(s.0)));
+            }
+            'pairs: for &p in preds {
+                let p_node = self.node(p);
+                for (i, &s) in succs.iter().enumerate() {
+                    if p == s {
+                        return CycleCheck::Cycle {
+                            confirmed_exact: Some(true),
+                        };
+                    }
+                    let Some(p_node) = p_node else {
+                        continue;
                     };
-                }
-                let Some(p_node) = p_node else {
-                    continue;
-                };
-                if !self.contains(s) {
-                    continue;
-                }
-                if p_node.anti_reachable.contains(s) {
-                    let confirmed = p_node
-                        .anti_reachable
-                        .contains_exact(s)
-                        .map(|exact| exact || self.reaches_exact(s, p));
-                    return CycleCheck::Cycle {
-                        confirmed_exact: confirmed,
-                    };
+                    let (s_slot, s_hashes) = scratch.succ_info[i];
+                    if s_slot.is_none() {
+                        continue;
+                    }
+                    if p_node.anti_reachable.contains_prehashed(s_hashes) {
+                        hit = Some((p, s));
+                        break 'pairs;
+                    }
                 }
             }
         }
-        CycleCheck::Acyclic
+        match hit {
+            None => CycleCheck::Acyclic,
+            Some((p, s)) => {
+                let p_node = self.node(p).expect("bloom hit implies a tracked pred");
+                let confirmed = p_node
+                    .anti_reachable
+                    .contains_exact(s)
+                    .map(|exact| exact || self.reaches_exact(s, p));
+                CycleCheck::Cycle {
+                    confirmed_exact: confirmed,
+                }
+            }
+        }
     }
 
     /// Algorithm 4 across shards. `per_shard` carries the transaction's keys and resolved
@@ -235,9 +338,16 @@ impl ShardedDependencyGraph {
     ///
     /// Local fast path: a single-home transaction whose home shard tracks no border
     /// transaction delegates wholesale to that shard's own insert — the coordinator is never
-    /// touched. Otherwise the coordinator inserts the node copies, merges their reach sets,
-    /// wires successor edges per shard, and runs one global downstream walk that applies the
-    /// delta to every copy of every reachable node (crossing shards at border transactions).
+    /// touched. Otherwise the coordinator inserts the node copies (fanned out on the worker
+    /// pool for border transactions when one is attached), merges their reach sets, wires
+    /// successor edges per shard, and runs one global downstream walk — on the epoch scratch,
+    /// with the delta moved out of the first copy instead of cloned — that applies the delta
+    /// to every copy of every reachable node (crossing shards at border transactions).
+    ///
+    /// Re-inserting a still-tracked id is a contract-level **no-op** on every copy and on the
+    /// coordinator's bookkeeping, exactly like the flat engine: replayed consensus deliveries
+    /// must not re-wire edges or disturb border counts (pinned by the replay regression tests
+    /// below at every shard × thread combination).
     pub fn insert_pending(
         &mut self,
         spec: PendingTxnSpec,
@@ -283,26 +393,59 @@ impl ShardedDependencyGraph {
                 &d.successors,
                 next_block,
             );
-            self.homes.insert(id.0, homes);
+            self.record_homes(id, homes);
             self.pending.push(id);
             return report;
         }
 
         // Coordinator path. 1) Insert the node copies with predecessor edges only (no local
         // walk fires without successors). Each shard's predecessors carry global reach sets by
-        // the invariant, so each copy's set is the union of its shard's contribution.
-        for d in per_shard {
-            self.shards[d.shard].insert_pending(
-                PendingTxnSpec {
-                    id,
-                    start_ts: spec.start_ts,
-                    read_keys: d.read_keys.clone(),
-                    write_keys: d.write_keys.clone(),
-                },
-                &d.predecessors,
-                &[],
-                next_block,
-            );
+        // the invariant, so each copy's set is the union of its shard's contribution. The
+        // copies are independent (disjoint shard graphs), so a border transaction's copies go
+        // out to the worker pool when one is attached.
+        match (self.pool.clone(), per_shard.len() > 1) {
+            (Some(pool), true) => {
+                let mut batch: Vec<(DependencyGraph, ShardJob)> =
+                    Vec::with_capacity(per_shard.len());
+                for d in per_shard {
+                    let graph = std::mem::replace(
+                        &mut self.shards[d.shard],
+                        DependencyGraph::new(self.config),
+                    );
+                    let copy_spec = PendingTxnSpec {
+                        id,
+                        start_ts: spec.start_ts,
+                        read_keys: d.read_keys.clone(),
+                        write_keys: d.write_keys.clone(),
+                    };
+                    let preds = d.predecessors.clone();
+                    batch.push((
+                        graph,
+                        Box::new(move |g: &mut DependencyGraph| {
+                            g.insert_pending(copy_spec, &preds, &[], next_block);
+                            ShardOutcome::Unit
+                        }),
+                    ));
+                }
+                for (d, (graph, _)) in per_shard.iter().zip(pool.run(batch)) {
+                    self.shards[d.shard] = graph;
+                }
+            }
+            _ => {
+                for d in per_shard {
+                    self.shards[d.shard].insert_pending(
+                        PendingTxnSpec {
+                            id,
+                            start_ts: spec.start_ts,
+                            read_keys: d.read_keys.clone(),
+                            write_keys: d.write_keys.clone(),
+                        },
+                        &d.predecessors,
+                        &[],
+                        next_block,
+                    );
+                }
+            }
         }
 
         // 2) Merge the copies so every one carries the global set.
@@ -328,7 +471,7 @@ impl ShardedDependencyGraph {
                 self.border_in_shard[shard] += 1;
             }
         }
-        self.homes.insert(id.0, homes);
+        let gslot = self.record_homes(id, homes.clone());
         self.pending.push(id);
 
         // 3) Wire successor edges per shard, without unions — the walk below applies the delta.
@@ -341,42 +484,70 @@ impl ShardedDependencyGraph {
         // 4) One global downstream walk (Algorithm 4 lines 5–7): every node reachable from the
         // successors learns the new transaction's reach set plus the transaction itself, on
         // every copy, and has its age bumped. `hops` counts distinct visited nodes, exactly
-        // like the unsharded walk.
-        let delta = self.node(id).expect("just inserted").anti_reachable.clone();
-        let mut visited: HashSet<u64> = HashSet::new();
-        visited.insert(id.0);
-        let mut stack: Vec<TxnId> = Vec::new();
-        for d in per_shard {
-            for &s in &d.successors {
-                if s != id && self.contains(s) && !stack.contains(&s) {
-                    stack.push(s);
-                }
-            }
-        }
+        // like the unsharded walk. The delta is *moved* out of the first copy for the duration
+        // (the graph is acyclic, so the walk can never reach `id` itself) and moved back; the
+        // visited set is the reusable epoch scratch over global slots.
+        let delta = self.shards[homes[0]].take_reach(id).expect("just inserted");
         let mut hops = 0usize;
-        while let Some(t) = stack.pop() {
-            if !visited.insert(t.0) {
-                continue;
+        {
+            let ShardedDependencyGraph {
+                shards,
+                gid,
+                homes_at,
+                scratch,
+                ..
+            } = &mut *self;
+            let CoordScratch { visited, stack, .. } = scratch.get_mut();
+            visited.reset(gid.capacity());
+            visited.insert(gslot);
+            stack.clear();
+            for d in per_shard {
+                for &s in &d.successors {
+                    if s == id {
+                        continue;
+                    }
+                    if let Some(s_slot) = gid.get(s) {
+                        if !visited.contains(s_slot) {
+                            stack.push(s_slot);
+                        }
+                    }
+                }
             }
-            hops += 1;
-            let homes_t = self.homes[&t.0].clone();
-            for &shard in &homes_t {
-                self.shards[shard].absorb_reach(t, &delta, Some(id), next_block);
-            }
-            for s in self.successors_global(t) {
-                if !visited.contains(&s.0) {
-                    stack.push(s);
+            while let Some(slot) = stack.pop() {
+                if !visited.insert(slot) {
+                    continue;
+                }
+                hops += 1;
+                let t = gid.id_at(slot);
+                for &shard in &homes_at[slot as usize] {
+                    shards[shard].absorb_reach(t, &delta, Some(id), next_block);
+                }
+                for &shard in &homes_at[slot as usize] {
+                    shards[shard].for_each_successor(t, |s| {
+                        if let Some(s_slot) = gid.get(s) {
+                            if !visited.contains(s_slot) {
+                                stack.push(s_slot);
+                            }
+                        }
+                    });
                 }
             }
         }
+        self.shards[homes[0]].replace_reach(id, delta);
         InsertReport { hops }
     }
 
     /// Marks a transaction as committed at `end_ts` on every copy.
     pub fn mark_committed(&mut self, id: TxnId, end_ts: SeqNo) {
-        if let Some(homes) = self.homes.get(&id.0) {
-            for &shard in homes.clone().iter() {
-                self.shards[shard].mark_committed(id, end_ts);
+        let ShardedDependencyGraph {
+            shards,
+            gid,
+            homes_at,
+            ..
+        } = self;
+        if let Some(slot) = gid.get(id) {
+            for &shard in &homes_at[slot as usize] {
+                shards[shard].mark_committed(id, end_ts);
             }
         }
         self.pending.remove(id);
@@ -384,9 +555,10 @@ impl ShardedDependencyGraph {
 
     /// Removes a transaction entirely (withdrawals / adversarial tests).
     pub fn remove(&mut self, id: TxnId) {
-        let Some(homes) = self.homes.remove(&id.0) else {
+        let Some(slot) = self.gid.release(id) else {
             return;
         };
+        let homes = std::mem::take(&mut self.homes_at[slot as usize]);
         if homes.len() > 1 {
             self.border_total -= 1;
             for &shard in &homes {
@@ -408,35 +580,40 @@ impl ShardedDependencyGraph {
 
     /// Algorithm 5's restored ww edge, attributed to the shard owning the restored key: adds
     /// the edge there with the union, then mirrors the delta onto `to`'s other copies so the
-    /// invariant holds before the caller's downstream propagation.
+    /// invariant holds before the caller's downstream propagation. The delta is moved out of
+    /// `from`'s first copy (never cloned) and moved back.
     pub fn add_ww_edge(&mut self, shard: usize, from: TxnId, to: TxnId) {
         if from == to {
             return;
         }
-        let to_homes = match self.homes.get(&to.0) {
-            Some(h) if self.contains(from) => h.clone(),
-            _ => return,
+        let (Some(from_slot), Some(to_slot)) = (self.gid.get(from), self.gid.get(to)) else {
+            return;
         };
-        let delta = (to_homes.len() > 1).then(|| {
-            self.node(from)
-                .expect("checked above")
-                .anti_reachable
-                .clone()
-        });
         self.shards[shard].add_edge_with_union(from, to);
-        if let Some(delta) = delta {
-            for &h in &to_homes {
-                if h != shard {
-                    self.shards[h].absorb_reach(to, &delta, Some(from), 0);
+        if self.homes_at[to_slot as usize].len() > 1 {
+            let from_home = self.homes_at[from_slot as usize][0];
+            let delta = self.shards[from_home]
+                .take_reach(from)
+                .expect("tracked ids have a node in their first home");
+            {
+                let ShardedDependencyGraph {
+                    shards, homes_at, ..
+                } = &mut *self;
+                for &h in &homes_at[to_slot as usize] {
+                    if h != shard {
+                        shards[h].absorb_reach(to, &delta, Some(from), 0);
+                    }
                 }
             }
+            self.shards[from_home].replace_reach(from, delta);
         }
     }
 
     /// Propagates reachability downstream of `heads` exactly once per node in topological
     /// order (the tail of Algorithm 5). With no border transactions this runs each shard's
     /// local topo walk; otherwise the coordinator computes a global topological order over the
-    /// union adjacency and pushes every node's set into all copies of its successors.
+    /// union adjacency and pushes every node's set into all copies of its successors, moving
+    /// each node's set out for the duration of its push instead of cloning it.
     pub fn propagate_from(&mut self, heads: &[TxnId]) {
         if heads.is_empty() {
             return;
@@ -444,7 +621,7 @@ impl ShardedDependencyGraph {
         if self.border_total == 0 {
             let mut heads_by_shard: HashMap<usize, Vec<TxnId>> = HashMap::new();
             for &head in heads {
-                if let Some(homes) = self.homes.get(&head.0) {
+                if let Some(homes) = self.homes(head) {
                     heads_by_shard.entry(homes[0]).or_default().push(head);
                 }
             }
@@ -465,41 +642,61 @@ impl ShardedDependencyGraph {
             if succs.is_empty() {
                 continue;
             }
-            let delta = self
-                .node(txn)
-                .expect("topo order only visits tracked nodes")
-                .anti_reachable
-                .clone();
-            for s in succs {
-                let homes_s = self.homes[&s.0].clone();
-                for &shard in &homes_s {
-                    self.shards[shard].absorb_reach(s, &delta, Some(txn), 0);
+            let slot = self
+                .gid
+                .get(txn)
+                .expect("topo order only visits tracked nodes");
+            let home0 = self.homes_at[slot as usize][0];
+            let delta = self.shards[home0]
+                .take_reach(txn)
+                .expect("tracked ids have a node in their first home");
+            {
+                let ShardedDependencyGraph {
+                    shards,
+                    gid,
+                    homes_at,
+                    ..
+                } = &mut *self;
+                for s in succs {
+                    if let Some(s_slot) = gid.get(s) {
+                        for &shard in &homes_at[s_slot as usize] {
+                            shards[shard].absorb_reach(s, &delta, Some(txn), 0);
+                        }
+                    }
                 }
             }
+            self.shards[home0].replace_reach(txn, delta);
         }
     }
 
     /// Every transaction reachable from `roots` over the union adjacency, in topological order
-    /// (reverse postorder of an iterative DFS — the global counterpart of
-    /// [`DependencyGraph::reachable_in_topo_order`]).
+    /// (reverse postorder of an iterative DFS on the coordinator's epoch scratch — the global
+    /// counterpart of [`DependencyGraph::reachable_in_topo_order`]).
     fn reachable_in_topo_order_global(&self, roots: &[TxnId]) -> Vec<TxnId> {
-        let mut visited: HashSet<u64> = HashSet::new();
         let mut postorder: Vec<TxnId> = Vec::new();
-        let mut dfs: Vec<(TxnId, Vec<TxnId>, usize)> = Vec::new();
+        let mut scratch = self.scratch.borrow_mut();
+        let CoordScratch { visited, .. } = &mut *scratch;
+        visited.reset(self.gid.capacity());
+        let mut dfs: Vec<(u32, Vec<TxnId>, usize)> = Vec::new();
         for &root in roots {
-            if !self.contains(root) || !visited.insert(root.0) {
+            let Some(root_slot) = self.gid.get(root) else {
+                continue;
+            };
+            if !visited.insert(root_slot) {
                 continue;
             }
-            dfs.push((root, self.successors_global(root), 0));
-            while let Some((node, succs, child_idx)) = dfs.last_mut() {
+            dfs.push((root_slot, self.successors_global(root), 0));
+            while let Some((slot, succs, child_idx)) = dfs.last_mut() {
                 if let Some(&child) = succs.get(*child_idx) {
                     *child_idx += 1;
-                    if visited.insert(child.0) {
-                        let child_succs = self.successors_global(child);
-                        dfs.push((child, child_succs, 0));
+                    if let Some(child_slot) = self.gid.get(child) {
+                        if visited.insert(child_slot) {
+                            let child_succs = self.successors_global(child);
+                            dfs.push((child_slot, child_succs, 0));
+                        }
                     }
                 } else {
-                    postorder.push(*node);
+                    postorder.push(self.gid.id_at(*slot));
                     dfs.pop();
                 }
             }
@@ -521,18 +718,57 @@ impl ShardedDependencyGraph {
             return self.pending.iter().collect();
         }
         if self.border_total == 0 {
-            return self.merge_shard_orders();
+            let orders: Vec<Vec<TxnId>> =
+                self.shards.iter().map(|g| g.topo_sort_pending()).collect();
+            return self.merge_orders(orders);
         }
         self.topo_sort_pending_global()
     }
 
-    /// Fast path: merge per-shard topological orders by global arrival index.
-    fn merge_shard_orders(&self) -> Vec<TxnId> {
-        let mut orders: Vec<std::vec::IntoIter<TxnId>> = self
-            .shards
-            .iter()
-            .map(|g| g.topo_sort_pending().into_iter())
-            .collect();
+    /// Worker-pool variant of [`ShardedDependencyGraph::topo_sort_pending`]: the independent
+    /// per-shard topo sorts fan out across the pool (when one is attached and no border
+    /// transaction forces the coordinator), and the arrival-index k-way merge re-imposes the
+    /// deterministic global order. Output is bit-identical to the inline variant.
+    pub fn topo_sort_pending_par(&mut self) -> Vec<TxnId> {
+        if self.pending.len() <= 1 {
+            return self.pending.iter().collect();
+        }
+        if self.border_total > 0 {
+            return self.topo_sort_pending_global();
+        }
+        let Some(pool) = self.pool.clone() else {
+            return self.topo_sort_pending();
+        };
+        let mut shard_ids: Vec<usize> = Vec::new();
+        let mut batch: Vec<(DependencyGraph, ShardJob)> = Vec::new();
+        for (i, slot) in self.shards.iter_mut().enumerate() {
+            if slot.pending_len() == 0 {
+                continue;
+            }
+            let graph = std::mem::replace(slot, DependencyGraph::new(self.config));
+            shard_ids.push(i);
+            batch.push((
+                graph,
+                Box::new(|g: &mut DependencyGraph| ShardOutcome::Order(g.topo_sort_pending())),
+            ));
+        }
+        let mut orders: Vec<Vec<TxnId>> = Vec::with_capacity(batch.len());
+        for (&shard, (graph, outcome)) in shard_ids.iter().zip(pool.run(batch)) {
+            self.shards[shard] = graph;
+            match outcome {
+                ShardOutcome::Order(order) => orders.push(order),
+                other => unreachable!("topo job returned {other:?}"),
+            }
+        }
+        self.merge_orders(orders)
+    }
+
+    /// K-way merge of per-shard topological orders by global arrival index. Shards are
+    /// disjoint (no border transaction), so each per-shard order is the restriction of the
+    /// global order and the merge reconstructs it exactly.
+    fn merge_orders(&self, orders: Vec<Vec<TxnId>>) -> Vec<TxnId> {
+        let mut orders: Vec<std::vec::IntoIter<TxnId>> =
+            orders.into_iter().map(|o| o.into_iter()).collect();
         let mut heads: Vec<Option<(u64, TxnId)>> = orders
             .iter_mut()
             .map(|it| it.next().map(|id| (self.seq_or_max(id), id)))
@@ -559,36 +795,57 @@ impl ShardedDependencyGraph {
         self.pending.seq(id).unwrap_or(u64::MAX)
     }
 
-    /// Coordinator path: closure over the union adjacency + Kahn with arrival tie-breaks.
+    /// Coordinator path: closure over the union adjacency + Kahn with arrival tie-breaks. The
+    /// per-pending reach walks run on the epoch scratch (reset per walk is one counter bump).
     fn topo_sort_pending_global(&self) -> Vec<TxnId> {
         let pending: Vec<TxnId> = self.pending.iter().collect();
         let p = pending.len();
-        let pos: HashMap<u64, u32> = pending
-            .iter()
-            .enumerate()
-            .map(|(i, id)| (id.0, i as u32))
-            .collect();
+        // Dense pending index per global slot (u32::MAX = not pending).
+        let mut pos_of_slot: Vec<u32> = vec![u32::MAX; self.gid.capacity()];
+        for (i, id) in pending.iter().enumerate() {
+            let slot = self.gid.get(*id).expect("pending ids are tracked");
+            pos_of_slot[slot as usize] = i as u32;
+        }
 
         // Closure edges: i → j iff pending[i] reaches pending[j] through any path, committed
         // intermediaries and cross-shard hops included.
         let mut closure: Vec<Vec<u32>> = vec![Vec::new(); p];
         let mut indegree: Vec<u32> = vec![0; p];
-        let mut visited: HashSet<u64> = HashSet::new();
-        let mut stack: Vec<TxnId> = Vec::new();
-        for (i, &pid) in pending.iter().enumerate() {
-            visited.clear();
-            visited.insert(pid.0);
-            stack.clear();
-            stack.extend(self.successors_global(pid));
-            while let Some(t) = stack.pop() {
-                if !visited.insert(t.0) {
-                    continue;
+        {
+            let mut scratch = self.scratch.borrow_mut();
+            let CoordScratch { visited, stack, .. } = &mut *scratch;
+            for (i, &pid) in pending.iter().enumerate() {
+                visited.reset(self.gid.capacity());
+                let pid_slot = self.gid.get(pid).expect("pending ids are tracked");
+                visited.insert(pid_slot);
+                stack.clear();
+                for &shard in &self.homes_at[pid_slot as usize] {
+                    self.shards[shard].for_each_successor(pid, |s| {
+                        if let Some(s_slot) = self.gid.get(s) {
+                            stack.push(s_slot);
+                        }
+                    });
                 }
-                if let Some(&j) = pos.get(&t.0) {
-                    closure[i].push(j);
-                    indegree[j as usize] += 1;
+                while let Some(slot) = stack.pop() {
+                    if !visited.insert(slot) {
+                        continue;
+                    }
+                    let j = pos_of_slot[slot as usize];
+                    if j != u32::MAX {
+                        closure[i].push(j);
+                        indegree[j as usize] += 1;
+                    }
+                    let t = self.gid.id_at(slot);
+                    for &shard in &self.homes_at[slot as usize] {
+                        self.shards[shard].for_each_successor(t, |s| {
+                            if let Some(s_slot) = self.gid.get(s) {
+                                if !visited.contains(s_slot) {
+                                    stack.push(s_slot);
+                                }
+                            }
+                        });
+                    }
                 }
-                stack.extend(self.successors_global(t));
             }
         }
 
@@ -625,25 +882,82 @@ impl ShardedDependencyGraph {
         order
     }
 
-    /// Exact reachability over the union adjacency (cross-shard DFS).
+    /// Whether Algorithm 5's ww restoration may be decomposed per shard and fanned out: a
+    /// worker pool is attached and no border transaction is live (every restored chain and its
+    /// downstream closure then stays inside one shard).
+    pub fn can_restore_ww_per_shard(&self) -> bool {
+        self.pool.is_some() && self.border_total == 0
+    }
+
+    /// Algorithm 5, decomposed per shard: `chains_by_shard` carries, per owning shard, the
+    /// per-key pending-writer chains in commit order (keys in globally sorted order). Each
+    /// shard restores its chains — skipping already-connected pairs — and propagates the
+    /// restored reachability downstream locally, on a worker when the pool is attached. Only
+    /// valid with zero live border transactions (callers gate on
+    /// [`ShardedDependencyGraph::can_restore_ww_per_shard`]); results are bit-identical to
+    /// driving [`ShardedDependencyGraph::add_ww_edge`] +
+    /// [`ShardedDependencyGraph::propagate_from`] key by key, because operations on disjoint
+    /// shards commute.
+    pub fn restore_ww_chains(&mut self, chains_by_shard: Vec<(usize, Vec<Vec<TxnId>>)>) {
+        debug_assert!(
+            self.border_total == 0,
+            "per-shard ww restore requires no border txns"
+        );
+        let Some(pool) = self.pool.clone() else {
+            for (shard, chains) in chains_by_shard {
+                restore_ww_chains_local(&mut self.shards[shard], &chains);
+            }
+            return;
+        };
+        let mut shard_ids: Vec<usize> = Vec::with_capacity(chains_by_shard.len());
+        let mut batch: Vec<(DependencyGraph, ShardJob)> = Vec::with_capacity(chains_by_shard.len());
+        for (shard, chains) in chains_by_shard {
+            let graph =
+                std::mem::replace(&mut self.shards[shard], DependencyGraph::new(self.config));
+            shard_ids.push(shard);
+            batch.push((
+                graph,
+                Box::new(move |g: &mut DependencyGraph| {
+                    restore_ww_chains_local(g, &chains);
+                    ShardOutcome::Unit
+                }),
+            ));
+        }
+        for (&shard, (graph, _)) in shard_ids.iter().zip(pool.run(batch)) {
+            self.shards[shard] = graph;
+        }
+    }
+
+    /// Exact reachability over the union adjacency (cross-shard DFS on the epoch scratch).
     pub fn reaches_exact(&self, from: TxnId, to: TxnId) -> bool {
         if from == to {
             return self.contains(from);
         }
-        if !self.contains(from) || !self.contains(to) {
+        let (Some(from_slot), Some(to_slot)) = (self.gid.get(from), self.gid.get(to)) else {
             return false;
-        }
-        let mut visited: HashSet<u64> = HashSet::new();
-        visited.insert(from.0);
-        let mut stack = vec![from];
-        while let Some(t) = stack.pop() {
-            for s in self.successors_global(t) {
-                if s == to {
-                    return true;
-                }
-                if visited.insert(s.0) {
-                    stack.push(s);
-                }
+        };
+        let mut scratch = self.scratch.borrow_mut();
+        let CoordScratch { visited, stack, .. } = &mut *scratch;
+        visited.reset(self.gid.capacity());
+        visited.insert(from_slot);
+        stack.clear();
+        stack.push(from_slot);
+        let mut found = false;
+        while let Some(slot) = stack.pop() {
+            let t = self.gid.id_at(slot);
+            for &shard in &self.homes_at[slot as usize] {
+                self.shards[shard].for_each_successor(t, |s| {
+                    if let Some(s_slot) = self.gid.get(s) {
+                        if s_slot == to_slot {
+                            found = true;
+                        } else if visited.insert(s_slot) {
+                            stack.push(s_slot);
+                        }
+                    }
+                });
+            }
+            if found {
+                return true;
             }
         }
         false
@@ -653,7 +967,7 @@ impl ShardedDependencyGraph {
     pub fn is_acyclic_exact(&self) -> bool {
         // Iterative 3-colour DFS over transaction ids.
         let mut colour: HashMap<u64, u8> = HashMap::new(); // 1 = grey, 2 = black
-        let ids: Vec<u64> = self.homes.keys().copied().collect();
+        let ids: Vec<u64> = self.gid.live_ids().map(|t| t.0).collect();
         let mut dfs: Vec<(TxnId, Vec<TxnId>, usize)> = Vec::new();
         for &start in &ids {
             if colour.contains_key(&start) {
@@ -682,19 +996,45 @@ impl ShardedDependencyGraph {
         true
     }
 
-    /// Section 4.6 pruning across shards. Ages are kept in sync on every copy, so each border
-    /// transaction leaves all its shards in the same call; the coordinator then retires its
-    /// bookkeeping. Returns the number of distinct transactions removed.
+    /// Section 4.6 pruning across shards (fanned out on the pool when one is attached). Ages
+    /// are kept in sync on every copy, so each border transaction leaves all its shards in the
+    /// same call; the coordinator then retires its bookkeeping. Returns the number of distinct
+    /// transactions removed.
     pub fn prune_for_next_block(&mut self, next_block: u64) -> usize {
         let threshold = crate::prune::snapshot_threshold(next_block, self.config.max_span);
         let mut removed: HashSet<u64> = HashSet::new();
-        for shard in &mut self.shards {
-            for id in shard.prune_stale(threshold) {
-                removed.insert(id.0);
+        match self.pool.clone() {
+            Some(pool) if self.shards.len() > 1 => {
+                let mut batch: Vec<(DependencyGraph, ShardJob)> =
+                    Vec::with_capacity(self.shards.len());
+                for slot in self.shards.iter_mut() {
+                    let graph = std::mem::replace(slot, DependencyGraph::new(self.config));
+                    batch.push((
+                        graph,
+                        Box::new(move |g: &mut DependencyGraph| {
+                            ShardOutcome::Pruned(g.prune_stale(threshold))
+                        }),
+                    ));
+                }
+                for (shard, (graph, outcome)) in pool.run(batch).into_iter().enumerate() {
+                    self.shards[shard] = graph;
+                    match outcome {
+                        ShardOutcome::Pruned(ids) => removed.extend(ids.iter().map(|t| t.0)),
+                        other => unreachable!("prune job returned {other:?}"),
+                    }
+                }
+            }
+            _ => {
+                for shard in &mut self.shards {
+                    for id in shard.prune_stale(threshold) {
+                        removed.insert(id.0);
+                    }
+                }
             }
         }
         for id in &removed {
-            if let Some(homes) = self.homes.remove(id) {
+            if let Some(slot) = self.gid.release(TxnId(*id)) {
+                let homes = std::mem::take(&mut self.homes_at[slot as usize]);
                 if homes.len() > 1 {
                     self.border_total -= 1;
                     for &shard in &homes {
@@ -704,6 +1044,32 @@ impl ShardedDependencyGraph {
             }
         }
         removed.len()
+    }
+}
+
+/// One shard's slice of Algorithm 5: restore the consecutive writer pairs of every chain that
+/// are not already connected, then propagate the restored reachability downstream exactly once
+/// per node in topological order — the same sequence the coordinator drives globally, which is
+/// why the per-shard decomposition is bit-identical when the shards are disjoint.
+fn restore_ww_chains_local(g: &mut DependencyGraph, chains: &[Vec<TxnId>]) {
+    let mut heads: Vec<TxnId> = Vec::new();
+    for chain in chains {
+        for pair in chain.windows(2) {
+            let (first, second) = (pair[0], pair[1]);
+            if g.already_connected(first, second) {
+                continue;
+            }
+            g.add_edge_with_union(first, second);
+            if !heads.contains(&second) {
+                heads.push(second);
+            }
+        }
+    }
+    let iteration = g.reachable_in_topo_order(&heads);
+    for txn in iteration {
+        for s in g.successors(txn) {
+            g.propagate_reachability(txn, s);
+        }
     }
 }
 
@@ -901,6 +1267,64 @@ mod tests {
         assert!(g.reaches_exact(TxnId(3), TxnId(11)));
     }
 
+    /// Regression test for the coordinator's delta take/restore dance: after a coordinator
+    /// walk, the inserted transaction's own copy must still carry its full (merged) reach set
+    /// — losing it to the placeholder would silently disable future cycle detection through
+    /// the new node (the cross-shard analogue of the flat engine's restore regression test).
+    #[test]
+    fn insert_restores_the_new_nodes_reach_set_after_the_coordinator_walk() {
+        let mut g = ShardedDependencyGraph::new(cfg_exact(), 2);
+        g.insert_pending(
+            spec(1, vec![], vec![]),
+            &[],
+            &[],
+            &deps_for(&[0], &[], &[]),
+            1,
+        );
+        g.insert_pending(
+            spec(2, vec![], vec![]),
+            &[],
+            &[],
+            &deps_for(&[1], &[], &[]),
+            1,
+        );
+        g.insert_pending(
+            spec(3, vec![], vec![]),
+            &[TxnId(2)],
+            &[],
+            &deps_for(&[1], &[(1, TxnId(2))], &[]),
+            1,
+        );
+        // Border txn 9: preds {1 on shard 0, 2 on shard 1}, succ {3 on shard 1} — the
+        // coordinator walk runs over 3 while 9's delta is taken out.
+        g.insert_pending(
+            spec(9, vec![], vec![]),
+            &[TxnId(1), TxnId(2)],
+            &[TxnId(3)],
+            &deps_for(&[0, 1], &[(0, TxnId(1)), (1, TxnId(2))], &[(1, TxnId(3))]),
+            1,
+        );
+        for shard in 0..2 {
+            let copy = g.shard(shard).node(TxnId(9)).unwrap();
+            for upstream in [1u64, 2] {
+                assert_eq!(
+                    copy.anti_reachable.contains_exact(TxnId(upstream)),
+                    Some(true),
+                    "copy in shard {shard} must still know {upstream} after the walk"
+                );
+            }
+            assert_eq!(copy.anti_reachable.contains_exact(TxnId(9)), Some(false));
+            assert_eq!(copy.anti_reachable.contains_exact(TxnId(3)), Some(false));
+        }
+        // The downstream node learned the delta {1, 2, 9}.
+        let n3 = g.node(TxnId(3)).unwrap();
+        for member in [1u64, 2, 9] {
+            assert_eq!(n3.anti_reachable.contains_exact(TxnId(member)), Some(true));
+        }
+        // And the probe through the new node still fires.
+        assert!(!g.would_close_cycle(&[TxnId(3)], &[TxnId(1)]).is_acyclic());
+    }
+
     #[test]
     fn ww_edges_and_propagation_keep_copies_in_sync() {
         let mut g = ShardedDependencyGraph::new(cfg_exact(), 2);
@@ -940,6 +1364,12 @@ mod tests {
                 "both copies of 2 must learn the restored edge (shard {shard})"
             );
         }
+        // The ww-edge source's own set must survive the take/restore mirror step.
+        assert_eq!(
+            g.node(TxnId(1)).unwrap().anti_reachable.bloom_popcount(),
+            0,
+            "txn 1 has no predecessors; its set must be restored empty, not lost"
+        );
         g.propagate_from(&[TxnId(2)]);
         assert_eq!(
             g.node(TxnId(3))
@@ -950,6 +1380,14 @@ mod tests {
             "downstream of the border txn must learn the restored reachability"
         );
         assert!(g.reaches_exact(TxnId(1), TxnId(3)));
+        // propagate_from's take/restore must leave the source sets intact too.
+        assert_eq!(
+            g.node(TxnId(2))
+                .unwrap()
+                .anti_reachable
+                .contains_exact(TxnId(1)),
+            Some(true)
+        );
     }
 
     #[test]
@@ -1013,6 +1451,209 @@ mod tests {
         assert_eq!(g.border_count(), 0);
         assert_eq!(g.pending_len(), 0);
     }
+
+    /// Replay regression (PR 3's flat-engine contract extended to the sharded copies): a
+    /// replayed delivery of a transaction that was already *cut into a block* — committed on
+    /// every copy but not yet pruned — must not disturb any shard graph, the coordinator's
+    /// pending order, or the border bookkeeping. Checked in inline and worker-pool mode.
+    #[test]
+    fn replaying_a_cut_but_unpruned_border_txn_is_a_noop_on_every_copy() {
+        for threads in [0usize, 2] {
+            let mut g = ShardedDependencyGraph::new(cfg_exact(), 2).with_formation_threads(threads);
+            g.insert_pending(
+                spec(1, vec![], vec![]),
+                &[],
+                &[],
+                &deps_for(&[0], &[], &[]),
+                1,
+            );
+            g.insert_pending(
+                spec(5, vec![], vec![]),
+                &[TxnId(1)],
+                &[],
+                &deps_for(&[0, 1], &[(0, TxnId(1))], &[]),
+                1,
+            );
+            g.mark_committed(TxnId(5), SeqNo::new(1, 1));
+            assert_eq!(g.pending_len(), 1);
+            assert_eq!(g.border_count(), 1);
+
+            // Replay of the cut transaction, with *different* (stale) dependency lists — the
+            // guard must win before any shard sees the new lists.
+            let report = g.insert_pending(
+                spec(5, vec![], vec![]),
+                &[],
+                &[TxnId(1)],
+                &deps_for(&[0, 1], &[], &[(0, TxnId(1))]),
+                2,
+            );
+            assert_eq!(report, InsertReport::default(), "W={threads}");
+            assert_eq!(g.border_count(), 1, "W={threads}");
+            assert_eq!(g.pending_ids(), vec![TxnId(1)], "W={threads}");
+            assert!(
+                !g.node(TxnId(5)).unwrap().is_pending(),
+                "W={threads}: replay must not resurrect the committed copy"
+            );
+            for shard in 0..2 {
+                assert!(
+                    g.shard(shard).successors(TxnId(5)).is_empty(),
+                    "W={threads}: replay must not wire the stale successor edge in shard {shard}"
+                );
+            }
+            assert!(g.is_acyclic_exact());
+        }
+    }
+
+    /// Recycled-slot regression across shards: removing a border transaction frees its slots
+    /// in *both* shard interners and in the coordinator; fresh transactions that recycle those
+    /// slots must start with clean adjacency and clean filters, with no phantom cross-shard
+    /// reachability from the previous occupant.
+    #[test]
+    fn recycled_slots_start_clean_across_shards_and_coordinator() {
+        for threads in [0usize, 2] {
+            let mut g = ShardedDependencyGraph::new(cfg_exact(), 2).with_formation_threads(threads);
+            g.insert_pending(
+                spec(1, vec![], vec![]),
+                &[],
+                &[],
+                &deps_for(&[0], &[], &[]),
+                1,
+            );
+            // Border txn 5 downstream of 1, homed on both shards.
+            g.insert_pending(
+                spec(5, vec![], vec![]),
+                &[TxnId(1)],
+                &[],
+                &deps_for(&[0, 1], &[(0, TxnId(1))], &[]),
+                1,
+            );
+            g.remove(TxnId(5));
+            assert_eq!(g.border_count(), 0);
+
+            // Txn 6 recycles 5's slots: a *local* txn on shard 1, unrelated to txn 1.
+            g.insert_pending(
+                spec(6, vec![], vec![]),
+                &[],
+                &[],
+                &deps_for(&[1], &[], &[]),
+                1,
+            );
+            assert!(!g.is_border(TxnId(6)), "W={threads}");
+            assert!(
+                g.shard(1).predecessors(TxnId(6)).is_empty(),
+                "W={threads}: recycled slot leaked adjacency"
+            );
+            assert_eq!(
+                g.node(TxnId(6)).unwrap().anti_reachable.bloom_popcount(),
+                0,
+                "W={threads}: recycled slot leaked filter bits"
+            );
+            assert!(!g.reaches_exact(TxnId(1), TxnId(6)), "W={threads}");
+            assert!(g.shard(0).successors(TxnId(1)).is_empty(), "W={threads}");
+            // And a border txn recycling coordinator slots keeps the bookkeeping exact.
+            g.insert_pending(
+                spec(7, vec![], vec![]),
+                &[],
+                &[],
+                &deps_for(&[0, 1], &[], &[]),
+                1,
+            );
+            assert_eq!(g.border_count(), 1, "W={threads}");
+            g.remove(TxnId(7));
+            assert_eq!(g.border_count(), 0, "W={threads}");
+            assert_eq!(g.topo_sort_pending(), vec![TxnId(1), TxnId(6)]);
+        }
+    }
+
+    /// The worker-pool topo variant must equal the inline merge, including with empty shards
+    /// and a shard count larger than the thread count.
+    #[test]
+    fn parallel_topo_sort_matches_inline_at_every_thread_count() {
+        for threads in [1usize, 2, 4] {
+            let mut g = ShardedDependencyGraph::new(cfg_exact(), 4).with_formation_threads(threads);
+            assert_eq!(g.formation_threads(), threads);
+            // Shards 0, 1, 3 get interleaved arrivals; shard 2 stays empty.
+            for (i, shard) in [0usize, 1, 3, 0, 1, 3, 0].iter().enumerate() {
+                let id = i as u64 + 1;
+                let preds: Vec<(usize, TxnId)> = if id > 3 {
+                    vec![(*shard, TxnId(id - 3))]
+                } else {
+                    vec![]
+                };
+                let pred_ids: Vec<TxnId> = preds.iter().map(|(_, t)| *t).collect();
+                g.insert_pending(
+                    spec(id, vec![], vec![]),
+                    &pred_ids,
+                    &[],
+                    &deps_for(&[*shard], &preds, &[]),
+                    1,
+                );
+            }
+            let inline = g.topo_sort_pending();
+            let parallel = g.topo_sort_pending_par();
+            assert_eq!(inline, parallel, "W={threads}");
+            assert_eq!(inline.len(), 7);
+        }
+    }
+
+    /// Per-shard ww restoration (the parallel formation path) must equal the sequential
+    /// add_ww_edge + propagate_from sequence.
+    #[test]
+    fn restore_ww_chains_matches_the_sequential_restoration() {
+        let build = || {
+            let mut g = ShardedDependencyGraph::new(cfg_exact(), 2);
+            for (id, shard) in [(1u64, 0usize), (2, 0), (3, 1), (4, 1), (5, 1)] {
+                g.insert_pending(
+                    spec(id, vec![], vec![]),
+                    &[],
+                    &[],
+                    &deps_for(&[shard], &[], &[]),
+                    1,
+                );
+            }
+            g
+        };
+        // Sequential reference: chains (1 → 2) on shard 0, (3 → 4 → 5) on shard 1.
+        let mut reference = build();
+        let mut heads = Vec::new();
+        for (shard, a, b) in [(0usize, 1u64, 2u64), (1, 3, 4), (1, 4, 5)] {
+            if !reference.already_connected(TxnId(a), TxnId(b)) {
+                reference.add_ww_edge(shard, TxnId(a), TxnId(b));
+                heads.push(TxnId(b));
+            }
+        }
+        reference.propagate_from(&heads);
+
+        for threads in [0usize, 2] {
+            let mut decomposed = build().with_formation_threads(threads);
+            assert!(decomposed.can_restore_ww_per_shard() == (threads > 0));
+            decomposed.restore_ww_chains(vec![
+                (0, vec![vec![TxnId(1), TxnId(2)]]),
+                (1, vec![vec![TxnId(3), TxnId(4), TxnId(5)]]),
+            ]);
+            for a in 1..=5u64 {
+                for b in 1..=5u64 {
+                    assert_eq!(
+                        reference.reaches_exact(TxnId(a), TxnId(b)),
+                        decomposed.reaches_exact(TxnId(a), TxnId(b)),
+                        "W={threads}: reaches({a}, {b})"
+                    );
+                    let rn = reference.node(TxnId(b)).unwrap();
+                    let dn = decomposed.node(TxnId(b)).unwrap();
+                    assert_eq!(
+                        rn.anti_reachable.contains(TxnId(a)),
+                        dn.anti_reachable.contains(TxnId(a)),
+                        "W={threads}: bloom bit {a} in reach({b})"
+                    );
+                }
+            }
+            assert_eq!(
+                reference.topo_sort_pending(),
+                decomposed.topo_sort_pending(),
+                "W={threads}"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1024,13 +1665,24 @@ mod proptests {
     /// sharded graph must agree with a single global [`DependencyGraph`] on every cycle
     /// verdict, every reach set (exact *and* bloom bits via `contains`), and the topological
     /// order — the micro-scale version of the ledger-identity acceptance criterion.
-    fn run_equivalence(edges: Vec<(u64, u64)>, probes: Vec<(u64, u64)>, shards: usize) {
-        let config = CcConfig {
-            track_exact_reachability: true,
-            ..CcConfig::default()
-        };
+    ///
+    /// The sharded graph under test runs at a caller-chosen worker-thread count and on a
+    /// caller-chosen bloom geometry, so the same harness pins three things at once: the
+    /// coordinator's epoch-scratch walks against the flat engine's (the old clone-based walk
+    /// produced exactly the flat engine's sets, so agreement with the flat engine *is*
+    /// agreement with the old walk), worker-pool execution against inline, and saturated-bloom
+    /// behaviour (false positives included) against the reference.
+    fn run_equivalence(
+        edges: Vec<(u64, u64)>,
+        probes: Vec<(u64, u64)>,
+        ww_edges: Vec<(u64, u64)>,
+        shards: usize,
+        threads: usize,
+        config: CcConfig,
+    ) {
         let mut global = DependencyGraph::new(config);
-        let mut sharded = ShardedDependencyGraph::new(config, shards);
+        let mut sharded =
+            ShardedDependencyGraph::new(config, shards).with_formation_threads(threads);
 
         // Synthetic router: txn t "touches" shard (t % shards) always, plus shard
         // ((t / 3) % shards) — so roughly a third of transactions are border. An edge (a, b)
@@ -1048,8 +1700,7 @@ mod proptests {
         };
         // Dependency lists per txn: edge (a, b), a < b becomes pred a of b, attributed to the
         // smallest shard shared by a's and b's homes (guaranteed non-empty after widening:
-        // if disjoint, attribute to b's first home and widen a's home set — but to keep homes
-        // static we instead attribute to a shard of a, and widen b's membership up front).
+        // if disjoint, attribute to a shard of a, and widen b's membership up front).
         let mut homes: Vec<Vec<usize>> = (0..n).map(home_of).collect();
         let mut preds: HashMap<u64, Vec<(usize, TxnId)>> = HashMap::new();
         for &(a, b) in &edges {
@@ -1113,6 +1764,48 @@ mod proptests {
             assert_eq!(report_global.hops, report_sharded.hops, "hops for txn {id}");
         }
 
+        // Algorithm 5 phase: restore extra ww edges (oriented low → high id to stay acyclic,
+        // skipping pairs already connected and pairs whose reverse is reachable) on a shard
+        // both endpoints call home, then propagate downstream from the restored heads — the
+        // exact sequence block formation drives, pinning add_ww_edge + propagate_from (and
+        // their take/restore delta handling) against the flat engine.
+        let mut heads: Vec<TxnId> = Vec::new();
+        for &(a, b) in &ww_edges {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            if lo == hi {
+                continue;
+            }
+            let (lo_t, hi_t) = (TxnId(lo), TxnId(hi));
+            assert_eq!(
+                global.already_connected(lo_t, hi_t),
+                sharded.already_connected(lo_t, hi_t),
+                "already_connected({lo}, {hi})"
+            );
+            if global.already_connected(lo_t, hi_t) || global.reaches_exact(hi_t, lo_t) {
+                continue;
+            }
+            let Some(&shard) = homes[lo as usize]
+                .iter()
+                .find(|s| homes[hi as usize].contains(s))
+            else {
+                continue;
+            };
+            global.add_edge_with_union(lo_t, hi_t);
+            sharded.add_ww_edge(shard, lo_t, hi_t);
+            if !heads.contains(&hi_t) {
+                heads.push(hi_t);
+            }
+        }
+        if !heads.is_empty() {
+            let iteration = global.reachable_in_topo_order(&heads);
+            for txn in iteration {
+                for s in global.successors(txn) {
+                    global.propagate_reachability(txn, s);
+                }
+            }
+            sharded.propagate_from(&heads);
+        }
+
         // Same reach sets — exact and probabilistic — for every (a, b) pair.
         for a in 0..n {
             for b in 0..n {
@@ -1138,8 +1831,10 @@ mod proptests {
             }
         }
 
-        // Same commit order.
-        assert_eq!(global.topo_sort_pending(), sharded.topo_sort_pending());
+        // Same commit order, via both the inline and the worker-pool formation path.
+        let reference_order = global.topo_sort_pending();
+        assert_eq!(reference_order, sharded.topo_sort_pending());
+        assert_eq!(reference_order, sharded.topo_sort_pending_par());
         assert!(sharded.is_acyclic_exact());
 
         // Same cycle verdicts on random probes.
@@ -1161,9 +1856,52 @@ mod proptests {
         fn sharded_graph_is_bit_identical_to_the_global_reference(
             edges in proptest::collection::vec((0u64..12, 0u64..12), 0..40),
             probes in proptest::collection::vec((0u64..12, 0u64..12), 1..12),
+            ww in proptest::collection::vec((0u64..12, 0u64..12), 0..10),
             shards in 2usize..5,
         ) {
-            run_equivalence(edges, probes, shards);
+            let config = CcConfig {
+                track_exact_reachability: true,
+                ..CcConfig::default()
+            };
+            run_equivalence(edges, probes, ww, shards, 0, config);
+        }
+
+        /// Worker-pool execution (border node-copy inserts, the parallel topo path) must stay
+        /// bit-identical to the flat reference at W > 0 too.
+        #[test]
+        fn worker_pool_execution_is_bit_identical_to_the_global_reference(
+            edges in proptest::collection::vec((0u64..12, 0u64..12), 0..40),
+            probes in proptest::collection::vec((0u64..12, 0u64..12), 1..8),
+            ww in proptest::collection::vec((0u64..12, 0u64..12), 0..10),
+            shards in 2usize..5,
+            threads in 1usize..4,
+        ) {
+            let config = CcConfig {
+                track_exact_reachability: true,
+                ..CcConfig::default()
+            };
+            run_equivalence(edges, probes, ww, shards, threads, config);
+        }
+
+        /// Bloom-saturation configuration: a 64-bit filter over 12 transactions saturates
+        /// quickly, so agreement here pins the coordinator's scratch walks in the regime where
+        /// false positives dominate — any deviation from the old clone-based walk's bit
+        /// pattern (which was, by construction, the flat engine's) shows up as a verdict or
+        /// bloom-bit mismatch.
+        #[test]
+        fn epoch_scratch_coordinator_matches_under_bloom_saturation(
+            edges in proptest::collection::vec((0u64..12, 0u64..12), 0..40),
+            probes in proptest::collection::vec((0u64..12, 0u64..12), 1..12),
+            ww in proptest::collection::vec((0u64..12, 0u64..12), 0..10),
+            shards in 2usize..5,
+        ) {
+            let config = CcConfig {
+                bloom_bits: 64,
+                bloom_hashes: 1,
+                track_exact_reachability: true,
+                ..CcConfig::default()
+            };
+            run_equivalence(edges, probes, ww, shards, 0, config);
         }
     }
 }

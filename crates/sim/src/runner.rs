@@ -73,6 +73,13 @@ pub struct SimulationConfig {
     /// coordinator. Every value produces identical ledgers for the same seed — asserted
     /// block for block by `tests/sharding_determinism.rs`.
     pub store_shards: usize,
+    /// Number of worker threads the sharded dependency-graph engine fans its per-shard
+    /// arrival and formation work out on (border node-copy inserts, per-shard formation topo
+    /// sorts, ww restoration, pruning). `0` (the default) runs the inline reference path;
+    /// the knob is inert when `store_shards == 0`. Every value produces identical ledgers
+    /// for the same seed — asserted block for block by
+    /// `tests/parallel_formation_determinism.rs`.
+    pub formation_threads: usize,
 }
 
 impl SimulationConfig {
@@ -90,6 +97,7 @@ impl SimulationConfig {
             seed: 42,
             endorser_shards: 0,
             store_shards: 0,
+            formation_threads: 0,
         }
     }
 
@@ -115,6 +123,21 @@ impl SimulationConfig {
     pub fn sharded_store(system: SystemKind, workload: WorkloadKind, store_shards: usize) -> Self {
         SimulationConfig {
             store_shards,
+            ..Self::new(system, workload)
+        }
+    }
+
+    /// Same as [`SimulationConfig::sharded_store`] but with the per-shard formation and
+    /// arrival work fanned out across `formation_threads` graph workers.
+    pub fn parallel_formation(
+        system: SystemKind,
+        workload: WorkloadKind,
+        store_shards: usize,
+        formation_threads: usize,
+    ) -> Self {
+        SimulationConfig {
+            store_shards,
+            formation_threads,
             ..Self::new(system, workload)
         }
     }
@@ -153,6 +176,7 @@ impl Simulator {
         let mut ledger = Ledger::new();
         let cc_config = CcConfig {
             store_shards: config.store_shards,
+            formation_threads: config.formation_threads,
             ..config.cc
         };
         let mut cc: Box<dyn ConcurrencyControl> = config.system.build(cc_config);

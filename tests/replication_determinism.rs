@@ -4,9 +4,11 @@
 //! `ConsensusLog` and compare their outputs, and exercise the hash-commitment mitigation.
 
 use fabricsharp::consensus::adversary::{
-    commitment_of, ClientSubmission, FrontRunningLeader, LeaderPolicy,
+    audit_fork, commitment_of, ClientSubmission, EquivocatingLeader, ForkVerdict,
+    FrontRunningLeader, LeaderPolicy,
 };
 use fabricsharp::consensus::{BlockCutter, ConsensusLog, Submission};
+use fabricsharp::ledger::{Block, Ledger};
 use fabricsharp::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -112,6 +114,123 @@ fn simulator_runs_are_reproducible_for_identical_configurations() {
     assert_eq!(a.in_ledger, b.in_ledger);
     assert_eq!(a.blocks, b.blocks);
     assert_eq!(a.aborted(), b.aborted());
+}
+
+/// Replays one proposed total order through an independent FabricSharp orderer replica,
+/// sealing a block every `block_size` deliveries, and returns the resulting hash chain —
+/// the artefact replicas exchange to audit for forks.
+fn replay_branch(branch: &[ClientSubmission], block_size: usize) -> Ledger {
+    let mut cc = FabricSharpCC::with_defaults();
+    let mut ledger = Ledger::new();
+    let mut since_cut = 0usize;
+    let seal = |cc: &mut FabricSharpCC, ledger: &mut Ledger| {
+        let txns = cc.cut_block();
+        if txns.is_empty() {
+            return;
+        }
+        let block = Block::build(ledger.height() + 1, ledger.tip_hash(), txns);
+        ledger.append(block).expect("replica blocks always chain");
+    };
+    for submission in branch {
+        let txn = submission
+            .clone()
+            .reveal()
+            .expect("plain submissions always reveal");
+        let _ = cc.on_arrival(txn);
+        since_cut += 1;
+        if since_cut >= block_size {
+            since_cut = 0;
+            seal(&mut cc, &mut ledger);
+        }
+    }
+    seal(&mut cc, &mut ledger);
+    ledger
+}
+
+fn block_hashes(ledger: &Ledger) -> Vec<fabricsharp::ledger::Digest> {
+    ledger.iter().map(|b| b.hash()).collect()
+}
+
+/// The long-fork obligation (ROADMAP open item): under an equivocating leader, replicas
+/// either converge to one ledger or *detect* the fork by comparing sealed block hashes —
+/// silent divergence is the one forbidden outcome. Replicas inside one partition (same
+/// proposed order) must still agree bit for bit, the shared prefix must match across
+/// partitions, and the audit must localise the first divergent height.
+#[test]
+fn long_fork_equivocation_converges_within_partitions_and_is_detected_across() {
+    let submissions: Vec<ClientSubmission> = transaction_stream(120, 11)
+        .into_iter()
+        .map(ClientSubmission::Plain)
+        .collect();
+
+    // The leader equivocates after 40 submissions; blocks seal every 30 deliveries, so block
+    // 1 precedes the fork point on both branches and block 2 is the first that can diverge.
+    let mut leader = EquivocatingLeader::new(40);
+    let (branch_a, branch_b) = leader.propose_fork(submissions);
+    assert!(leader.equivocated);
+
+    let partition_a_1 = replay_branch(&branch_a, 30);
+    let partition_a_2 = replay_branch(&branch_a, 30);
+    let partition_b = replay_branch(&branch_b, 30);
+
+    // Within a partition: full convergence (the Section 3.5 agreement property).
+    assert_eq!(partition_a_1.tip_hash(), partition_a_2.tip_hash());
+    assert_eq!(
+        audit_fork(&block_hashes(&partition_a_1), &block_hashes(&partition_a_2)),
+        ForkVerdict::Converged {
+            common_height: partition_a_1.height() as usize
+        }
+    );
+
+    // Across partitions: the fork is detected, never silently reconciled, and is localised
+    // to the first post-fork block — the shared prefix still matches.
+    let verdict = audit_fork(&block_hashes(&partition_a_1), &block_hashes(&partition_b));
+    assert_eq!(
+        verdict,
+        ForkVerdict::Forked {
+            first_divergent_height: 2
+        },
+        "equivocation after the first sealed block must surface at height 2"
+    );
+    assert_eq!(
+        partition_a_1.block(1).unwrap().hash(),
+        partition_b.block(1).unwrap().hash(),
+        "the pre-fork prefix is common to both partitions"
+    );
+    // Both branches remain internally valid chains — the attack is only visible by
+    // cross-partition comparison, which is why the audit must exist.
+    assert!(partition_a_1.verify_integrity().is_ok());
+    assert!(partition_b.verify_integrity().is_ok());
+}
+
+/// A leader whose "fork point" lies beyond the stream never equivocates: every replica sees
+/// the same order and the audit reports convergence — the no-false-positive half of the
+/// detection obligation.
+#[test]
+fn honest_schedules_converge_with_no_fork_report() {
+    let submissions: Vec<ClientSubmission> = transaction_stream(90, 12)
+        .into_iter()
+        .map(ClientSubmission::Plain)
+        .collect();
+    let mut leader = EquivocatingLeader::new(usize::MAX);
+    let (branch_a, branch_b) = leader.propose_fork(submissions);
+    assert!(!leader.equivocated);
+
+    let replica_a = replay_branch(&branch_a, 25);
+    let replica_b = replay_branch(&branch_b, 25);
+    let verdict = audit_fork(&block_hashes(&replica_a), &block_hashes(&replica_b));
+    assert!(!verdict.is_forked());
+    assert_eq!(replica_a.tip_hash(), replica_b.tip_hash());
+    assert!(replica_a.height() > 0);
+
+    // A lagging replica (same order, fewer sealed blocks) is lag, not a fork.
+    let lagging = replay_branch(&branch_a[..50], 25);
+    assert_eq!(
+        audit_fork(&block_hashes(&replica_a), &block_hashes(&lagging)),
+        ForkVerdict::Converged {
+            common_height: lagging.height() as usize
+        }
+    );
 }
 
 #[test]
