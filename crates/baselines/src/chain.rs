@@ -82,6 +82,21 @@ impl SimpleChain {
         )
     }
 
+    /// Creates a chain with the template fast path toggled (`store_shards` selects the
+    /// engine as in [`SimpleChain::with_store_shards`]). With the knob on, transactions
+    /// tagged [`eov_common::txn::TemplateClass::Safe`] bypass the dependency graph; ledger
+    /// outcomes stay bit-identical to the knob-off reference.
+    pub fn with_template_fastpath(kind: SystemKind, store_shards: usize, enabled: bool) -> Self {
+        Self::with_cc_config(
+            kind,
+            CcConfig {
+                store_shards,
+                template_fastpath: enabled,
+                ..CcConfig::default()
+            },
+        )
+    }
+
     /// Creates a chain with an explicit concurrency-control configuration
     /// (`cc_config.store_shards` also selects the state-store backend).
     pub fn with_cc_config(kind: SystemKind, cc_config: CcConfig) -> Self {

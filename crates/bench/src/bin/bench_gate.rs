@@ -12,12 +12,17 @@
 //! (`store_shards = 2`) vs unsharded engines, and the worker-pool coordinator
 //! (`S=4/W=2` cross-shard YCSB) — with a median-of-runs harness, then compares each median
 //! against `BENCH_BASELINE.json` at the repository root. A benchmark fails the gate when it lands outside the tolerance band
-//! (±20% by default; `FABRICSHARP_GATE_TOLERANCE=0.35` widens it to ±35%). Three structural
-//! checks are machine-independent and always enforced:
+//! (±20% by default; `FABRICSHARP_GATE_TOLERANCE=0.35` widens it to ±35%). A baseline ↔
+//! results mismatch is fatal in **both** directions: a measured benchmark missing from the
+//! baseline and a baseline entry no benchmark produces each fail the gate — a stale baseline
+//! is a silent hole, not a note. The structural checks are machine-independent and always
+//! enforced:
 //!
 //! * `topo_sort_pending` on the dense engine must be ≥ 5× faster than the naive reference at
 //!   512 pending transactions (the tentpole acceptance criterion),
-//! * the miss-path `would_close_cycle` must not be slower than the naive pair scan, and
+//! * the miss-path `would_close_cycle` must not be slower than the naive pair scan,
+//! * the template fast path must run the read-only YCSB-C arrival + cut input ≥ 1.3× faster
+//!   than the fastpath-off reference while committing the identical id order, and
 //! * the inline, sharded and parallel-formation paths must commit the **identical** id order
 //!   on the ww-heavy and cross-shard inputs (the determinism hard check).
 //!
@@ -47,6 +52,10 @@ const RUNS: usize = 15;
 const DEFAULT_TOLERANCE: f64 = 0.20;
 /// Required dense-vs-naive speedup for `topo_sort_pending` at 512 pending.
 const REQUIRED_TOPO_SPEEDUP: f64 = 5.0;
+/// Required fastpath-off / fastpath-on speedup for the read-only YCSB-C arrival + cut path:
+/// safe transactions skip graph insertion, cycle probing and index bookkeeping wholesale, so
+/// the whole-orderer path must be at least this much faster on all-safe traffic.
+const REQUIRED_FASTPATH_SPEEDUP: f64 = 1.3;
 
 fn spec(id: u64) -> PendingTxnSpec {
     PendingTxnSpec {
@@ -97,6 +106,7 @@ fn endorsed_txns(kind: WorkloadKind, count: usize) -> Vec<Transaction> {
         ..WorkloadParams::default()
     };
     let mut generator = WorkloadGenerator::new(kind, params, 7);
+    let classifier = generator.classifier();
     let mut store = MultiVersionStore::new();
     store.seed_genesis(generator.genesis());
     let snapshots = SnapshotManager::new();
@@ -105,7 +115,10 @@ fn endorsed_txns(kind: WorkloadKind, count: usize) -> Vec<Transaction> {
     (0..count)
         .map(|i| {
             let template = generator.next_template();
-            endorser.simulate_at(&store, TxnId(i as u64 + 1), 0, |ctx| template.run(ctx))
+            let class = classifier.classify_template(&template);
+            endorser
+                .simulate_at(&store, TxnId(i as u64 + 1), 0, |ctx| template.run(ctx))
+                .with_template_class(class)
         })
         .collect()
 }
@@ -132,11 +145,20 @@ fn ww_heavy_txns() -> Vec<Transaction> {
 /// Runs the full FabricSharp orderer path — every arrival plus one block cut — and returns
 /// the committed count (keeps the optimiser honest).
 fn arrival_and_cut(txns: &[Transaction], store_shards: usize, formation_threads: usize) -> u64 {
-    let mut cc = FabricSharpCC::new(CcConfig {
-        store_shards,
-        formation_threads,
-        ..CcConfig::default()
-    });
+    arrival_and_cut_cfg(
+        txns,
+        CcConfig {
+            store_shards,
+            formation_threads,
+            ..CcConfig::default()
+        },
+    )
+}
+
+/// [`arrival_and_cut`] with an explicit configuration (the template-fastpath benches toggle
+/// `CcConfig::template_fastpath` on identically tagged inputs).
+fn arrival_and_cut_cfg(txns: &[Transaction], config: CcConfig) -> u64 {
+    let mut cc = FabricSharpCC::new(config);
     for txn in txns {
         let _ = cc.on_arrival(txn.clone());
     }
@@ -150,11 +172,19 @@ fn arrival_and_cut_ids(
     store_shards: usize,
     formation_threads: usize,
 ) -> Vec<u64> {
-    let mut cc = FabricSharpCC::new(CcConfig {
-        store_shards,
-        formation_threads,
-        ..CcConfig::default()
-    });
+    arrival_and_cut_ids_cfg(
+        txns,
+        CcConfig {
+            store_shards,
+            formation_threads,
+            ..CcConfig::default()
+        },
+    )
+}
+
+/// [`arrival_and_cut_ids`] with an explicit configuration, for the fastpath identity check.
+fn arrival_and_cut_ids_cfg(txns: &[Transaction], config: CcConfig) -> Vec<u64> {
+    let mut cc = FabricSharpCC::new(config);
     for txn in txns {
         let _ = cc.on_arrival(txn.clone());
     }
@@ -172,6 +202,9 @@ struct BenchContext {
     miss_succs: Vec<TxnId>,
     smallbank200: Vec<Transaction>,
     ycsb_cross200: Vec<Transaction>,
+    /// 200 read-only YCSB-C transactions, tagged `Safe` by the workload classifier — the
+    /// all-bypass input for the template-fastpath benches.
+    ycsb_c200: Vec<Transaction>,
     ww_heavy: Vec<Transaction>,
 }
 
@@ -188,6 +221,7 @@ impl BenchContext {
                 WorkloadKind::Ycsb(YcsbProfile::a().with_cross_shard(2, 0.5)),
                 200,
             ),
+            ycsb_c200: endorsed_txns(WorkloadKind::Ycsb(YcsbProfile::c()), 200),
             ww_heavy: ww_heavy_txns(),
         }
     }
@@ -203,6 +237,8 @@ impl BenchContext {
             "remove_half_1600",
             "sharp_smallbank200_sharded_s2",
             "sharp_smallbank200_unsharded",
+            "sharp_ycsb_c_fastpath_off_200",
+            "sharp_ycsb_c_fastpath_on_200",
             "sharp_ycsb_cross200_sharded_s2",
             "sharp_ycsb_cross200_sharded_s4_w2",
             "sharp_ycsb_cross200_unsharded",
@@ -279,6 +315,18 @@ impl BenchContext {
             "sharp_ycsb_cross200_sharded_s4_w2" => {
                 median_ns(|| arrival_and_cut(&self.ycsb_cross200, 4, 2))
             }
+            "sharp_ycsb_c_fastpath_off_200" => {
+                median_ns(|| arrival_and_cut_cfg(&self.ycsb_c200, CcConfig::default()))
+            }
+            "sharp_ycsb_c_fastpath_on_200" => median_ns(|| {
+                arrival_and_cut_cfg(
+                    &self.ycsb_c200,
+                    CcConfig {
+                        template_fastpath: true,
+                        ..CcConfig::default()
+                    },
+                )
+            }),
             other => unreachable!("unknown benchmark {other}"),
         }
     }
@@ -395,6 +443,40 @@ fn main() {
             failures += 1;
         }
     }
+    // Template fast path: on all-safe (read-only YCSB-C) traffic the bypass must deliver a
+    // real structural speedup — and commit the identical id order as the reference.
+    let fp_off = results["sharp_ycsb_c_fastpath_off_200"];
+    let fp_on = results["sharp_ycsb_c_fastpath_on_200"];
+    let fp_speedup = fp_off / fp_on;
+    if fp_speedup >= REQUIRED_FASTPATH_SPEEDUP {
+        println!(
+            "  OK   ycsb-c template fastpath: {fp_speedup:.2}x over reference (need >= {REQUIRED_FASTPATH_SPEEDUP:.1}x)"
+        );
+    } else {
+        println!(
+            "  FAIL ycsb-c template fastpath: only {fp_speedup:.2}x over reference (need >= {REQUIRED_FASTPATH_SPEEDUP:.1}x)"
+        );
+        failures += 1;
+    }
+    {
+        let reference = arrival_and_cut_ids_cfg(&ctx.ycsb_c200, CcConfig::default());
+        let fastpath = arrival_and_cut_ids_cfg(
+            &ctx.ycsb_c200,
+            CcConfig {
+                template_fastpath: true,
+                ..CcConfig::default()
+            },
+        );
+        if reference == fastpath {
+            println!(
+                "  OK   ycsb_c200: fastpath/reference commit orders identical ({} txns)",
+                reference.len()
+            );
+        } else {
+            println!("  FAIL ycsb_c200: commit orders diverged between fastpath and reference");
+            failures += 1;
+        }
+    }
     println!(
         "  INFO sharded s2 / unsharded arrival+cut: smallbank {:.2}x, ycsb-cross {:.2}x",
         results["sharp_smallbank200_sharded_s2"] / results["sharp_smallbank200_unsharded"],
@@ -456,8 +538,24 @@ fn main() {
                 }
             }
             None => {
-                println!("  NOTE {name:<36} not in baseline — re-record to start gating it");
+                // A measured benchmark the baseline has never seen means the baseline is
+                // stale — an ungated benchmark is a silent hole in the gate, so this fails
+                // hard in both directions (see the reverse check below).
+                println!(
+                    "  FAIL {name:<36} not in baseline — re-record with `-- --record` to gate it"
+                );
+                failures += 1;
             }
+        }
+    }
+    // Reverse direction: a baseline entry no benchmark produces means a benchmark was
+    // renamed or deleted without re-recording — equally a stale gate, equally fatal.
+    for name in baseline.keys() {
+        if !results.contains_key(name) {
+            println!(
+                "  FAIL {name:<36} in baseline but not measured — stale entry; re-record with `-- --record`"
+            );
+            failures += 1;
         }
     }
 

@@ -76,6 +76,13 @@ pub struct CcConfig {
     /// (the flat engine has no per-shard decomposition). Every `W` produces bit-for-bit the
     /// same ledgers (asserted by `tests/parallel_formation_determinism.rs`).
     pub formation_threads: usize,
+    /// When `true`, transactions tagged [`crate::txn::TemplateClass::Safe`] by the workload's
+    /// template static analysis bypass dependency-graph insertion, cycle probing and
+    /// ww-restore entirely — they are spliced into the committed order at their arrival
+    /// position. `false` (the default) ignores the tag and runs the reference path. Either
+    /// setting produces bit-for-bit the same ledgers, orders and verdicts (asserted by
+    /// `tests/template_fastpath_determinism.rs`).
+    pub template_fastpath: bool,
 }
 
 impl Default for CcConfig {
@@ -87,6 +94,7 @@ impl Default for CcConfig {
             track_exact_reachability: false,
             store_shards: 0,
             formation_threads: 0,
+            template_fastpath: false,
         }
     }
 }

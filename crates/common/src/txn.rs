@@ -33,6 +33,30 @@ impl From<u64> for TxnId {
     }
 }
 
+/// Static classification of the transaction *template* a transaction was generated from
+/// (Vandevoort-style template robustness; see `eov_workload::templates`).
+///
+/// `Safe` asserts that, given the whole template mix the workload draws from, no instance of
+/// this template can ever participate in a serializability-violating cycle — so the orderer
+/// may skip dependency-graph insertion and cycle probing for it entirely. `Unknown` is the
+/// conservative default: the transaction takes the full Algorithm 2 path. The tag is advisory
+/// metadata; with `CcConfig::template_fastpath` off it is ignored everywhere.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemplateClass {
+    /// No static guarantee: full dependency tracking applies.
+    #[default]
+    Unknown,
+    /// Proven unable to close a dependency cycle within its workload's template mix.
+    Safe,
+}
+
+impl TemplateClass {
+    /// Whether the class is `Safe`.
+    pub fn is_safe(&self) -> bool {
+        matches!(self, TemplateClass::Safe)
+    }
+}
+
 /// An endorsed transaction: the unit that flows from peers through the ordering service into a
 /// block and finally through validation.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -50,6 +74,10 @@ pub struct Transaction {
     pub endorsements: u32,
     /// Commit slot assigned by consensus, if the transaction has been sequenced.
     pub end_ts: Option<EndTs>,
+    /// Static template classification (defaults to [`TemplateClass::Unknown`], the fully
+    /// tracked path). Absent in serialized transactions from older ledgers.
+    #[serde(default)]
+    pub template_class: TemplateClass,
 }
 
 impl Transaction {
@@ -62,7 +90,14 @@ impl Transaction {
             snapshot_block,
             endorsements: 1,
             end_ts: None,
+            template_class: TemplateClass::Unknown,
         }
+    }
+
+    /// Returns the transaction with its template classification set.
+    pub fn with_template_class(mut self, class: TemplateClass) -> Self {
+        self.template_class = class;
+        self
     }
 
     /// Convenience constructor used throughout tests and the worked paper examples: builds a
@@ -228,6 +263,15 @@ mod tests {
         let rej = CommitDecision::Reject(AbortReason::StaleRead);
         assert!(!rej.is_accept());
         assert_eq!(rej.reason(), Some(AbortReason::StaleRead));
+    }
+
+    #[test]
+    fn template_class_defaults_to_unknown() {
+        let t = Transaction::from_parts(1, 0, [], []);
+        assert_eq!(t.template_class, TemplateClass::Unknown);
+        assert!(!t.template_class.is_safe());
+        let tagged = t.with_template_class(TemplateClass::Safe);
+        assert!(tagged.template_class.is_safe());
     }
 
     #[test]

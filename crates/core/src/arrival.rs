@@ -26,11 +26,12 @@ impl FabricSharpCC {
         self.stats.arrivals += 1;
 
         // Idempotence guard: consensus deduplicates in practice, but a replayed transaction
-        // must not end up in the pending set (or the graph) twice. The graph check also
-        // covers transactions already cut into a block but not yet pruned — re-accepting one
-        // of those must not re-enter it into the pending set (it would be committed twice) or
+        // must not end up in the pending set (or the graph) twice. The `knows` check also
+        // covers transactions already cut into a block but not yet pruned — whether they were
+        // graph-tracked or committed via the template fast path — re-accepting one of those
+        // must not re-enter it into the pending set (it would be committed twice) or
         // re-insert its graph node.
-        if self.pending_txns.contains_key(&txn.id.0) || self.graph.contains(txn.id) {
+        if self.pending_txns.contains_key(&txn.id.0) || self.graph.knows(txn.id) {
             return CommitDecision::Accept;
         }
 
@@ -40,6 +41,23 @@ impl FabricSharpCC {
         if txn.snapshot_block + self.config.max_span <= self.next_block {
             self.stats.record_abort(AbortReason::SnapshotTooOld);
             return CommitDecision::Reject(AbortReason::SnapshotTooOld);
+        }
+
+        // Template fast path: a statically safe transaction cannot participate in any
+        // dependency (its template's read families have no writers anywhere in the mix, and
+        // its writes — if any — are fresh keys nobody else touches), so resolution would
+        // return empty lists, the cycle probe would trivially pass, the graph node would be
+        // edge-free (0 reachability hops) and the PW/PR/CW/CR entries would never be
+        // consulted. Skip all of it: remember only the acceptance position, which is all
+        // block formation needs to splice the transaction into the reference commit order.
+        if self.config.template_fastpath && txn.template_class.is_safe() {
+            let seq = self.arrival_seq;
+            self.arrival_seq += 1;
+            self.pending_seq.insert(txn.id.0, seq);
+            self.safe_pending.push(txn.id);
+            self.pending_txns.insert(txn.id.0, txn);
+            self.stats.accepted += 1;
+            return CommitDecision::Accept;
         }
 
         // Step 2: dependency resolution (all kinds except pending-pending c-ww), split by key
@@ -95,6 +113,9 @@ impl FabricSharpCC {
         for key in txn.read_set.keys() {
             self.indices.record_pr(key.clone(), txn.id);
         }
+        let seq = self.arrival_seq;
+        self.arrival_seq += 1;
+        self.pending_seq.insert(txn.id.0, seq);
         self.pending_txns.insert(txn.id.0, txn);
         self.stats.arrival_index_record += t_index.elapsed();
 

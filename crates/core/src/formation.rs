@@ -33,12 +33,16 @@ impl FabricSharpCC {
         // worker pool when one is configured; the k-way merge behind it re-imposes the same
         // deterministic order the inline sort computes.
         let t_order = Instant::now();
-        let order: Vec<TxnId> = self
+        let tracked_order: Vec<TxnId> = self
             .graph
             .topo_sort_pending_par()
             .into_iter()
             .filter(|id| self.pending_txns.contains_key(&id.0))
             .collect();
+        // Template fast path: splice the untracked (safe-class) transactions back in at their
+        // acceptance positions. With the fast path off, `safe_pending` is always empty and
+        // `tracked_order` passes through untouched.
+        let order = self.merge_safe_into_order(tracked_order);
         self.stats.reorder_compute_order += t_order.elapsed();
 
         // Step 2: restore ww dependencies among pending transactions along that order.
@@ -56,21 +60,32 @@ impl FabricSharpCC {
                 .expect("order only contains pending transactions");
             let slot = SeqNo::new(block_no, i as u32 + 1);
             txn.end_ts = Some(slot);
+            self.pending_seq.remove(&txn.id.0);
 
-            // Committed-read index: record this transaction as a reader of each key it read.
-            for read in txn.read_set.iter() {
-                self.indices.record_cr(read.key.clone(), slot, txn.id);
+            if self.config.template_fastpath && txn.template_class.is_safe() {
+                // Fast-path transaction: it has no graph node to mark and no conflicts any
+                // future arrival could resolve against, so the CW/CR updates are skipped
+                // wholesale. The untracked-commit log keeps replay idempotent until the
+                // commit ages past the pruning horizon.
+                self.graph.note_untracked_commit(txn.id, block_no);
+            } else {
+                // Committed-read index: record this transaction as a reader of each key it
+                // read.
+                for read in txn.read_set.iter() {
+                    self.indices.record_cr(read.key.clone(), slot, txn.id);
+                }
+                // Committed-write index: record the writes and drop readers of the
+                // overwritten values (they no longer read the latest version).
+                for write in txn.write_set.iter() {
+                    self.indices.record_cw(write.key.clone(), slot, txn.id);
+                    self.indices.drop_stale_readers(&write.key, slot);
+                }
+                self.graph.mark_committed(txn.id, slot);
             }
-            // Committed-write index: record the writes and drop readers of the overwritten
-            // values (they no longer read the latest version).
-            for write in txn.write_set.iter() {
-                self.indices.record_cw(write.key.clone(), slot, txn.id);
-                self.indices.drop_stale_readers(&write.key, slot);
-            }
-            self.graph.mark_committed(txn.id, slot);
             self.stats.block_span_sum += txn.block_span().unwrap_or(0);
             block_txns.push(txn);
         }
+        self.safe_pending.clear();
         self.indices.clear_pending();
         self.stats.reorder_persist += t_persist.elapsed();
 
@@ -86,6 +101,39 @@ impl FabricSharpCC {
         self.stats.committed += block_txns.len() as u64;
         self.next_block = next;
         block_txns
+    }
+
+    /// Merges the fast-path (untracked) pending transactions into the tracked topological
+    /// order by acceptance sequence, reproducing the reference order bit for bit.
+    ///
+    /// Why this is exact: the reference topo sort is a Kahn sort whose ready-heap is keyed by
+    /// pending-list slot — i.e. acceptance order. A safe transaction's node is edge-free, so
+    /// in the reference run it is ready from the first step and pops exactly when its slot is
+    /// the minimum among ready nodes: immediately before the first tracked transaction that
+    /// *follows* it in acceptance order pops. Emitting safe transactions changes no tracked
+    /// transaction's readiness (no edges), so the tracked subsequence is unchanged. Hence:
+    /// walk the tracked order, and before each tracked transaction emit every remaining safe
+    /// transaction accepted earlier than it; leftovers go at the end.
+    fn merge_safe_into_order(&mut self, tracked: Vec<TxnId>) -> Vec<TxnId> {
+        if self.safe_pending.is_empty() {
+            return tracked;
+        }
+        let mut merged = Vec::with_capacity(tracked.len() + self.safe_pending.len());
+        let mut safe = self.safe_pending.iter().copied().peekable();
+        for id in tracked {
+            let tracked_seq = self.pending_seq[&id.0];
+            while let Some(next_safe) = safe.peek().copied() {
+                if self.pending_seq[&next_safe.0] < tracked_seq {
+                    merged.push(next_safe);
+                    safe.next();
+                } else {
+                    break;
+                }
+            }
+            merged.push(id);
+        }
+        merged.extend(safe);
+        merged
     }
 
     /// Algorithm 5: for every key written by pending transactions, walk its writers in the

@@ -39,6 +39,16 @@ pub struct FabricSharpCC {
     pub(crate) pending_txns: HashMap<u64, Transaction>,
     /// Number of the block currently being assembled (the first block is 1).
     pub(crate) next_block: u64,
+    /// Monotone acceptance counter: every accepted transaction (graph-tracked or fast-path)
+    /// takes the next value. Mirrors the graph's pending-list slot order, so the template
+    /// fast path can splice untracked transactions back into the commit order at exactly the
+    /// position the reference topo sort would have given them.
+    pub(crate) arrival_seq: u64,
+    /// Acceptance sequence of every pending transaction, keyed by id.
+    pub(crate) pending_seq: HashMap<u64, u64>,
+    /// Pending transactions that took the template fast path (never graph-inserted), in
+    /// acceptance order.
+    pub(crate) safe_pending: Vec<TxnId>,
     pub(crate) stats: CcStats,
 }
 
@@ -56,6 +66,9 @@ impl FabricSharpCC {
             config,
             pending_txns: HashMap::new(),
             next_block: 1,
+            arrival_seq: 0,
+            pending_seq: HashMap::new(),
+            safe_pending: Vec::new(),
             stats: CcStats::default(),
         }
     }
@@ -108,7 +121,19 @@ impl FabricSharpCC {
     /// ones it cut itself) are ignored, as are transactions without a commit slot.
     pub fn register_committed(&mut self, txn: &Transaction) {
         let Some(slot) = txn.end_ts else { return };
-        if self.graph.contains(txn.id) {
+        // `knows` also covers transactions this controller committed via the template fast
+        // path: they were never graph-inserted, but the untracked-commit log remembers them,
+        // so a replayed delivery of the block must not re-register them.
+        if self.graph.knows(txn.id) {
+            return;
+        }
+        // Template fast path: a statically safe transaction never participates in any
+        // dependency, so replaying it needs no graph node and no committed-index entries —
+        // nothing ever resolves against its keys. Log it so future replays and arrivals see
+        // it as known, exactly like a committed graph node until it ages out.
+        if self.config.template_fastpath && txn.template_class.is_safe() {
+            self.graph.note_untracked_commit(txn.id, slot.block);
+            self.next_block = self.next_block.max(slot.block + 1);
             return;
         }
         let resolved = crate::dependency::resolve_sharded(txn, &self.indices);
@@ -142,6 +167,8 @@ impl FabricSharpCC {
         let txn = self.pending_txns.remove(&id.0)?;
         self.graph.remove(id);
         self.indices.remove_pending_txn(id);
+        self.pending_seq.remove(&id.0);
+        self.safe_pending.retain(|s| *s != id);
         Some(txn)
     }
 }

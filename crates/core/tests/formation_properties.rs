@@ -10,7 +10,7 @@
 
 use eov_common::config::CcConfig;
 use eov_common::rwset::{Key, Value};
-use eov_common::txn::{Transaction, TxnId};
+use eov_common::txn::{TemplateClass, Transaction, TxnId};
 use eov_common::version::SeqNo;
 use eov_vstore::MultiVersionStore;
 use fabricsharp_core::serializability::is_serializable;
@@ -80,8 +80,121 @@ fn apply_block(store: &mut MultiVersionStore, block: &[Transaction]) {
     }
 }
 
+/// One transaction of a randomized template mix that obeys the static-safety contract of
+/// `eov_workload::templates`: safe read-only transactions read only the `ro*` family, which no
+/// transaction ever writes; safe fresh-writers write one previously-unused key nobody else
+/// touches; tracked transactions do arbitrary reads/writes over the contended `k*` pool.
+#[derive(Clone, Debug)]
+enum MixOp {
+    SafeRead { keys: Vec<u8>, snapshot_lag: u64 },
+    SafeFresh { snapshot_lag: u64 },
+    Tracked(Shape),
+}
+
+fn mix_strategy() -> impl Strategy<Value = MixOp> {
+    prop_oneof![
+        2 => (proptest::collection::vec(0u8..6, 1..4), 0u64..6)
+            .prop_map(|(keys, snapshot_lag)| MixOp::SafeRead { keys, snapshot_lag }),
+        1 => (0u64..6).prop_map(|snapshot_lag| MixOp::SafeFresh { snapshot_lag }),
+        3 => shape_strategy().prop_map(MixOp::Tracked),
+    ]
+}
+
+/// Materialises a mix transaction exactly like [`materialise`], tagging the statically safe
+/// shapes with [`TemplateClass::Safe`]. The tag is applied under *both* knob settings — only
+/// `CcConfig::template_fastpath` decides whether it activates.
+fn materialise_mix(id: u64, op: &MixOp, next_block: u64, store: &MultiVersionStore) -> Transaction {
+    match op {
+        MixOp::SafeRead { keys, snapshot_lag } => {
+            let snapshot = next_block.saturating_sub(1 + snapshot_lag);
+            Transaction::from_parts(
+                id,
+                snapshot,
+                keys.iter()
+                    .map(|r| (Key::new(format!("ro{r}")), SeqNo::zero())),
+                [],
+            )
+            .with_template_class(TemplateClass::Safe)
+        }
+        MixOp::SafeFresh { snapshot_lag } => {
+            let snapshot = next_block.saturating_sub(1 + snapshot_lag);
+            Transaction::from_parts(
+                id,
+                snapshot,
+                [],
+                [(Key::new(format!("fresh{id}")), Value::from_i64(id as i64))],
+            )
+            .with_template_class(TemplateClass::Safe)
+        }
+        MixOp::Tracked(shape) => materialise(id, shape, next_block, store),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn template_fastpath_is_bit_identical_to_the_reference(
+        ops in proptest::collection::vec(mix_strategy(), 1..100),
+        block_size in 3usize..12,
+    ) {
+        // The same randomized, contract-obeying stream drives a fast-path controller and a
+        // reference controller (sharded and unsharded): every arrival verdict, every block's
+        // commit order, every slot, and the cross-run statistics must agree bit for bit.
+        for store_shards in [0usize, 2] {
+            let base = CcConfig {
+                max_span: 4,
+                track_exact_reachability: true,
+                store_shards,
+                ..CcConfig::default()
+            };
+            let mut fast = FabricSharpCC::new(CcConfig { template_fastpath: true, ..base });
+            let mut reference = FabricSharpCC::new(base);
+            let mut store_fast = MultiVersionStore::new();
+            let mut store_ref = MultiVersionStore::new();
+
+            let compare_cut = |fast: &mut FabricSharpCC,
+                                   reference: &mut FabricSharpCC,
+                                   store_fast: &mut MultiVersionStore,
+                                   store_ref: &mut MultiVersionStore| {
+                let cut_fast = fast.cut_block();
+                let cut_ref = reference.cut_block();
+                let slots_fast: Vec<(TxnId, Option<SeqNo>)> =
+                    cut_fast.iter().map(|t| (t.id, t.end_ts)).collect();
+                let slots_ref: Vec<(TxnId, Option<SeqNo>)> =
+                    cut_ref.iter().map(|t| (t.id, t.end_ts)).collect();
+                prop_assert_eq!(slots_fast, slots_ref, "commit order diverged (S={})", store_shards);
+                apply_block(store_fast, &cut_fast);
+                apply_block(store_ref, &cut_ref);
+            };
+
+            for (i, op) in ops.iter().enumerate() {
+                let id = i as u64 + 1;
+                let txn_fast = materialise_mix(id, op, fast.next_block(), &store_fast);
+                let txn_ref = materialise_mix(id, op, reference.next_block(), &store_ref);
+                let verdict_fast = fast.on_arrival(txn_fast).is_accept();
+                let verdict_ref = reference.on_arrival(txn_ref).is_accept();
+                prop_assert_eq!(
+                    verdict_fast, verdict_ref,
+                    "verdict diverged at txn {} (S={})", id, store_shards
+                );
+                if fast.pending_len() >= block_size {
+                    compare_cut(&mut fast, &mut reference, &mut store_fast, &mut store_ref);
+                }
+            }
+            compare_cut(&mut fast, &mut reference, &mut store_fast, &mut store_ref);
+
+            // The observable statistics agree too: hops (safe transactions are dependency-free,
+            // so they contribute zero on both paths), spans, and the commit counters. Only the
+            // graph-size peak may differ — the fast path exists to keep safe transactions out
+            // of the graph.
+            prop_assert_eq!(fast.stats().accepted, reference.stats().accepted);
+            prop_assert_eq!(fast.stats().committed, reference.stats().committed);
+            prop_assert_eq!(fast.stats().total_hops, reference.stats().total_hops);
+            prop_assert_eq!(fast.stats().block_span_sum, reference.stats().block_span_sum);
+            prop_assert!(fast.graph().len() <= reference.graph().len());
+        }
+    }
 
     #[test]
     fn blocks_are_serializable_and_respect_dependencies(

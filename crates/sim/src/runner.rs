@@ -32,7 +32,7 @@ use eov_baselines::api::{ConcurrencyControl, SystemKind};
 use eov_common::abort::AbortReason;
 use eov_common::config::{BlockConfig, CcConfig, WorkloadParams};
 use eov_common::rwset::ReadSet;
-use eov_common::txn::{Transaction, TxnId, TxnStatus};
+use eov_common::txn::{TemplateClass, Transaction, TxnId, TxnStatus};
 use eov_common::version::SeqNo;
 use eov_ledger::{Block, Ledger};
 use eov_vstore::{
@@ -182,6 +182,13 @@ impl Simulator {
         let mut cc: Box<dyn ConcurrencyControl> = config.system.build(cc_config);
         let needs_validation = cc.needs_peer_validation();
 
+        // Template-robustness classifier (Section: template fast path). The class of every
+        // generated template is computed here — identically whether `cc.template_fastpath`
+        // is on or off — and stamped on the transaction before it reaches the CC, so the
+        // knob alone decides whether the fast path activates.
+        let classifier = generator.classifier();
+        let mut class_by_request: HashMap<u64, TemplateClass> = HashMap::new();
+
         // Stage backends (inline for endorser_shards == 0, threaded otherwise).
         let mut endorse_stage =
             EndorseStage::new(config.endorser_shards, SharedStore::clone(&store), endorser);
@@ -239,6 +246,7 @@ impl Simulator {
                     }
                     offered += 1;
                     let template = generator.next_template();
+                    class_by_request.insert(request_no, classifier.classify_template(&template));
                     let endorse_ms = profile.endorse_base_ms
                         + config.params.read_interval_ms as f64 * template.read_count() as f64;
                     let done_at = now + ms(endorse_ms);
@@ -270,6 +278,9 @@ impl Simulator {
                     submitted_at,
                 } => {
                     let mut txn = endorse_stage.collect(request_no);
+                    txn.template_class = class_by_request
+                        .remove(&request_no)
+                        .unwrap_or(TemplateClass::Unknown);
                     // Under the vanilla-Fabric lock the simulation effectively ran against the
                     // latest block at completion time; re-simulate if the chain advanced.
                     if profile.endorsement_lock && txn.snapshot_block < last_committed {

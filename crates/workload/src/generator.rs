@@ -118,6 +118,11 @@ impl WorkloadGenerator {
         &self.params
     }
 
+    /// The template-robustness classifier for this workload's mix (see [`crate::templates`]).
+    pub fn classifier(&self) -> crate::templates::TemplateClassifier {
+        crate::templates::TemplateClassifier::new(&self.kind)
+    }
+
     /// The genesis state this workload expects.
     pub fn genesis(&self) -> Vec<(Key, Value)> {
         match &self.kind {

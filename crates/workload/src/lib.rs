@@ -11,15 +11,20 @@
 //! * [`generator`] — workload generators parameterised exactly like Table 2 (hot ratios,
 //!   client delay, read interval, request rate) and Section 5.4 (Create-Account and mixed
 //!   workloads with Zipfian skew).
+//! * [`templates`] — Vandevoort-style template-robustness analysis: classifies each
+//!   template in a workload's mix as safe (provably cycle-free) or unknown, feeding the
+//!   orderer's `template_fastpath` knob.
 
 pub mod contracts;
 pub mod generator;
 pub mod smallbank;
+pub mod templates;
 pub mod ycsb;
 pub mod zipf;
 
 pub use contracts::{KvUpdateContract, NoOpContract, SmartContract};
 pub use generator::{TxnTemplate, WorkloadGenerator, WorkloadKind};
 pub use smallbank::{SmallbankContract, SmallbankOp};
+pub use templates::{TemplateClassifier, TemplateSpec};
 pub use ycsb::{YcsbOp, YcsbProfile, YcsbTxn};
 pub use zipf::Zipfian;

@@ -72,6 +72,15 @@ impl YcsbProfile {
         }
     }
 
+    /// YCSB-C: 100% reads, Zipfian 0.99 — the whole mix is in the template-safe class.
+    pub fn c() -> Self {
+        YcsbProfile {
+            read_fraction: 1.0,
+            update_fraction: 0.0,
+            ..Self::a()
+        }
+    }
+
     /// YCSB-F: 50% reads / 50% read-modify-writes, Zipfian 0.99.
     pub fn f() -> Self {
         YcsbProfile {
@@ -221,8 +230,20 @@ pub fn next_ycsb_txn(
             }
             index = (index + 1) % records;
         }
-        if indices.contains(&index) {
-            break; // Key space exhausted (tiny populations); accept a shorter transaction.
+        // Re-check the probe's final candidate: when the linear scan exhausts the key space
+        // without a match (tiny or pathologically routed populations), `index` can be a
+        // duplicate or violate the locality constraint — pushing it anyway used to leak
+        // wrong-shard keys into "local" transactions. Accept a shorter transaction instead.
+        let shard = router.shard_of(&ycsb_key(index));
+        let ok = if force_other {
+            shard != home_shard
+        } else if force_home {
+            shard == home_shard
+        } else {
+            true
+        };
+        if !ok || indices.contains(&index) {
+            break;
         }
         indices.push(index);
     }
@@ -313,6 +334,24 @@ mod tests {
                 shard_spread(&txn, 4) >= 2,
                 "cross txn stayed local: {txn:?}"
             );
+        }
+    }
+
+    #[test]
+    fn degenerate_populations_never_leak_off_shard_keys_into_local_txns() {
+        // Tiny populations exhaust the linear probe: the home shard may hold fewer keys than
+        // ops_per_txn. The generator must then shorten the transaction, never pad it with a
+        // wrong-shard key (regression for the probe-exhaustion fallback).
+        for records in 3..12usize {
+            let profile = YcsbProfile::a().with_cross_shard(2, 0.0);
+            for txn in draw(profile, records, 40, 5) {
+                assert_eq!(
+                    shard_spread(&txn, 2),
+                    1,
+                    "local txn crossed shards at records={records}: {txn:?}"
+                );
+                assert!(!txn.ops.is_empty());
+            }
         }
     }
 

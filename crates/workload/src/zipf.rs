@@ -135,6 +135,60 @@ mod tests {
     fn zero_items_panics() {
         let _ = Zipfian::new(0, 1.0);
     }
+
+    /// Audit regression: the empirical CDF must track the closed-form normalised harmonic
+    /// CDF `H_{i,θ} / H_{n,θ}` at every rank, for a uniform, the YCSB default and a θ > 1
+    /// skew (the paper sweeps up to 1.2). A Kolmogorov–Smirnov-style max deviation well
+    /// above the ~0.007 expected at this sample size would expose sampler bias.
+    #[test]
+    fn empirical_cdf_matches_closed_form_at_three_thetas() {
+        for theta in [0.0, 0.99, 1.2] {
+            let n = 50usize;
+            let draws = 40_000usize;
+            let z = Zipfian::new(n, theta);
+            let mut rng = StdRng::seed_from_u64(123);
+            let mut counts = vec![0usize; n];
+            for _ in 0..draws {
+                counts[z.sample(&mut rng)] += 1;
+            }
+            let weights: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).collect();
+            let total: f64 = weights.iter().sum();
+            let (mut cdf_closed, mut cdf_empirical, mut max_deviation) = (0.0f64, 0.0f64, 0.0f64);
+            for i in 0..n {
+                cdf_closed += weights[i] / total;
+                cdf_empirical += counts[i] as f64 / draws as f64;
+                max_deviation = max_deviation.max((cdf_closed - cdf_empirical).abs());
+            }
+            assert!(
+                max_deviation < 0.015,
+                "theta={theta}: empirical CDF deviates from closed form by {max_deviation}"
+            );
+        }
+    }
+
+    /// Audit regression: the degenerate corners of the parameter space are exact — a single
+    /// item is a point mass at any θ, θ = 0 is exactly uniform, and θ ≥ 1 keeps the
+    /// closed-form head ratio `p(0)/p(1) = 2^θ`.
+    #[test]
+    fn degenerate_parameters_are_exact() {
+        for theta in [0.0, 1.0, 3.0] {
+            let z = Zipfian::new(1, theta);
+            assert_eq!(z.probability(0), 1.0, "theta={theta}");
+            assert_eq!(z.len(), 1);
+        }
+        let uniform = Zipfian::new(1_000, 0.0);
+        for i in [0, 499, 999] {
+            assert!((uniform.probability(i) - 1e-3).abs() < 1e-12);
+        }
+        for theta in [1.0, 1.2] {
+            let z = Zipfian::new(10, theta);
+            let ratio = z.probability(0) / z.probability(1);
+            assert!(
+                (ratio - 2f64.powf(theta)).abs() < 1e-9,
+                "theta={theta}: head ratio {ratio}"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
