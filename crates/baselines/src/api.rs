@@ -126,6 +126,13 @@ pub trait ConcurrencyControl: Send {
     fn avg_hops(&self) -> f64 {
         0.0
     }
+
+    /// How many accepted transactions rode the template fast path (skipping the dependency
+    /// graph); zero for systems without the knob. The simulator exports this so the static
+    /// conflict analyzer's predicted safe count can be checked against runtime behaviour.
+    fn fastpath_accepted(&self) -> u64 {
+        0
+    }
 }
 
 /// Peer-side validation of a delivered block (the validate phase of the EOV pipeline), shared

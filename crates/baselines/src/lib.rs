@@ -14,6 +14,8 @@
 //! * [`parallel`] — `ParallelChain`, the same workflow driven over the concurrent stage
 //!   executor (sharded endorsers + committer thread) with deterministic outcomes.
 
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod chain;
 pub mod fabric;

@@ -63,6 +63,10 @@ impl ConcurrencyControl for FabricSharpCC {
     fn avg_hops(&self) -> f64 {
         self.stats().avg_hops()
     }
+
+    fn fastpath_accepted(&self) -> u64 {
+        self.stats().fastpath_accepted
+    }
 }
 
 #[cfg(test)]

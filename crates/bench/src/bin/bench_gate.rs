@@ -22,7 +22,11 @@
 //!   512 pending transactions (the tentpole acceptance criterion),
 //! * the miss-path `would_close_cycle` must not be slower than the naive pair scan,
 //! * the template fast path must run the read-only YCSB-C arrival + cut input ≥ 1.3× faster
-//!   than the fastpath-off reference while committing the identical id order, and
+//!   than the fastpath-off reference while committing the identical id order,
+//! * the *instance* fast path must run the write-partitioned YCSB-B input ≥ 1.3× faster than
+//!   the fastpath-off reference, commit the identical id order, and bypass **exactly** the
+//!   number of transactions the conflict analyzer predicted (runtime `fastpath_accepted` ==
+//!   static safe-tag count, ±0), and
 //! * the inline, sharded and parallel-formation paths must commit the **identical** id order
 //!   on the ww-heavy and cross-shard inputs (the determinism hard check).
 //!
@@ -106,7 +110,7 @@ fn endorsed_txns(kind: WorkloadKind, count: usize) -> Vec<Transaction> {
         ..WorkloadParams::default()
     };
     let mut generator = WorkloadGenerator::new(kind, params, 7);
-    let classifier = generator.classifier();
+    let analyzer = generator.analyzer();
     let mut store = MultiVersionStore::new();
     store.seed_genesis(generator.genesis());
     let snapshots = SnapshotManager::new();
@@ -115,7 +119,7 @@ fn endorsed_txns(kind: WorkloadKind, count: usize) -> Vec<Transaction> {
     (0..count)
         .map(|i| {
             let template = generator.next_template();
-            let class = classifier.classify_template(&template);
+            let class = analyzer.classify_instance(&template);
             endorser
                 .simulate_at(&store, TxnId(i as u64 + 1), 0, |ctx| template.run(ctx))
                 .with_template_class(class)
@@ -202,9 +206,14 @@ struct BenchContext {
     miss_succs: Vec<TxnId>,
     smallbank200: Vec<Transaction>,
     ycsb_cross200: Vec<Transaction>,
-    /// 200 read-only YCSB-C transactions, tagged `Safe` by the workload classifier — the
+    /// 200 read-only YCSB-C transactions, tagged `Safe` by the conflict analyzer — the
     /// all-bypass input for the template-fastpath benches.
     ycsb_c200: Vec<Transaction>,
+    /// 200 write-partitioned YCSB-B transactions: reads Zipfian over the full population,
+    /// writes uniform in the top 1/8 tail. The read template still conflicts with the writer
+    /// template, so only *instance* classification (bound keys provably below the partition)
+    /// tags the ~75% rescued arrivals `Safe`.
+    ycsb_b200: Vec<Transaction>,
     ww_heavy: Vec<Transaction>,
 }
 
@@ -222,6 +231,10 @@ impl BenchContext {
                 200,
             ),
             ycsb_c200: endorsed_txns(WorkloadKind::Ycsb(YcsbProfile::c()), 200),
+            ycsb_b200: endorsed_txns(
+                WorkloadKind::Ycsb(YcsbProfile::b().with_write_partition(0.125)),
+                200,
+            ),
             ww_heavy: ww_heavy_txns(),
         }
     }
@@ -237,6 +250,8 @@ impl BenchContext {
             "remove_half_1600",
             "sharp_smallbank200_sharded_s2",
             "sharp_smallbank200_unsharded",
+            "sharp_ycsb_b_fastpath_off_200",
+            "sharp_ycsb_b_fastpath_on_200",
             "sharp_ycsb_c_fastpath_off_200",
             "sharp_ycsb_c_fastpath_on_200",
             "sharp_ycsb_cross200_sharded_s2",
@@ -315,6 +330,18 @@ impl BenchContext {
             "sharp_ycsb_cross200_sharded_s4_w2" => {
                 median_ns(|| arrival_and_cut(&self.ycsb_cross200, 4, 2))
             }
+            "sharp_ycsb_b_fastpath_off_200" => {
+                median_ns(|| arrival_and_cut_cfg(&self.ycsb_b200, CcConfig::default()))
+            }
+            "sharp_ycsb_b_fastpath_on_200" => median_ns(|| {
+                arrival_and_cut_cfg(
+                    &self.ycsb_b200,
+                    CcConfig {
+                        template_fastpath: true,
+                        ..CcConfig::default()
+                    },
+                )
+            }),
             "sharp_ycsb_c_fastpath_off_200" => {
                 median_ns(|| arrival_and_cut_cfg(&self.ycsb_c200, CcConfig::default()))
             }
@@ -458,10 +485,26 @@ fn main() {
         );
         failures += 1;
     }
-    {
-        let reference = arrival_and_cut_ids_cfg(&ctx.ycsb_c200, CcConfig::default());
+    // Instance fast path: the write-partitioned YCSB-B input is ~75% instance-safe (reads
+    // whose sampled keys provably miss the write tail), so the bypass must deliver the same
+    // structural speedup there as on all-safe traffic.
+    let fpb_off = results["sharp_ycsb_b_fastpath_off_200"];
+    let fpb_on = results["sharp_ycsb_b_fastpath_on_200"];
+    let fpb_speedup = fpb_off / fpb_on;
+    if fpb_speedup >= REQUIRED_FASTPATH_SPEEDUP {
+        println!(
+            "  OK   ycsb-b (partitioned) instance fastpath: {fpb_speedup:.2}x over reference (need >= {REQUIRED_FASTPATH_SPEEDUP:.1}x)"
+        );
+    } else {
+        println!(
+            "  FAIL ycsb-b (partitioned) instance fastpath: only {fpb_speedup:.2}x over reference (need >= {REQUIRED_FASTPATH_SPEEDUP:.1}x)"
+        );
+        failures += 1;
+    }
+    for (input_name, txns) in [("ycsb_c200", &ctx.ycsb_c200), ("ycsb_b200", &ctx.ycsb_b200)] {
+        let reference = arrival_and_cut_ids_cfg(txns, CcConfig::default());
         let fastpath = arrival_and_cut_ids_cfg(
-            &ctx.ycsb_c200,
+            txns,
             CcConfig {
                 template_fastpath: true,
                 ..CcConfig::default()
@@ -469,11 +512,33 @@ fn main() {
         );
         if reference == fastpath {
             println!(
-                "  OK   ycsb_c200: fastpath/reference commit orders identical ({} txns)",
+                "  OK   {input_name}: fastpath/reference commit orders identical ({} txns)",
                 reference.len()
             );
         } else {
-            println!("  FAIL ycsb_c200: commit orders diverged between fastpath and reference");
+            println!("  FAIL {input_name}: commit orders diverged between fastpath and reference");
+            failures += 1;
+        }
+        // Exactness: the orderer must bypass precisely the arrivals the static analyzer
+        // tagged Safe — no more (soundness hole), no fewer (rescue not wired through).
+        let predicted = txns.iter().filter(|t| t.template_class.is_safe()).count() as u64;
+        let mut cc = FabricSharpCC::new(CcConfig {
+            template_fastpath: true,
+            ..CcConfig::default()
+        });
+        for txn in txns.iter() {
+            let _ = cc.on_arrival(txn.clone());
+        }
+        let _ = cc.cut_block();
+        let runtime = cc.stats().fastpath_accepted;
+        if predicted == runtime {
+            println!(
+                "  OK   {input_name}: analyzer-predicted safe count == runtime fastpath count ({runtime})"
+            );
+        } else {
+            println!(
+                "  FAIL {input_name}: analyzer predicted {predicted} safe but the orderer bypassed {runtime}"
+            );
             failures += 1;
         }
     }

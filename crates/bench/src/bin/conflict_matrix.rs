@@ -1,0 +1,109 @@
+//! Static conflict-matrix report: per-mix template×template conflict table plus sampled
+//! instance safe-rates from the key-granular conflict analyzer.
+//!
+//! ```text
+//! cargo run --release -p eov-bench --bin conflict_matrix
+//! ```
+//!
+//! For every workload mix this prints the symbolic template catalog with its static class
+//! (template granularity), the conflict matrix computed by expression unification (`·` = the
+//! pair can never conflict, `X` = some instantiation may), and the *instance* safe-rate over
+//! 2 000 sampled arrivals — the fraction whose bound key footprints provably miss every write
+//! expression in the mix. The gap between template and instance safe-rates is exactly what
+//! the key-granular analysis buys: on write-partitioned YCSB-B the read template conflicts
+//! with the writer template (their domains overlap symbolically), yet ~3/4 of concrete read
+//! instances sample only keys below the write partition and ride the fast path.
+
+use eov_common::config::WorkloadParams;
+use eov_workload::generator::{WorkloadGenerator, WorkloadKind};
+use eov_workload::YcsbProfile;
+
+const SAMPLES: usize = 2_000;
+const NUM_ACCOUNTS: usize = 2_000;
+
+fn report(name: &str, kind: WorkloadKind) {
+    let params = WorkloadParams {
+        num_accounts: NUM_ACCOUNTS,
+        ..WorkloadParams::default()
+    };
+    let mut generator = WorkloadGenerator::new(kind, params, 7);
+    let analyzer = generator.analyzer();
+    let matrix = analyzer.matrix();
+
+    println!("== {name} ==");
+    if matrix.templates.is_empty() {
+        println!("  (no templates with key accesses)\n");
+        return;
+    }
+    let width = matrix
+        .templates
+        .iter()
+        .map(|t| t.len())
+        .max()
+        .unwrap_or(0)
+        .max(8);
+    println!("  {:width$}  class    conflicts-with", "template");
+    for (i, tname) in matrix.templates.iter().enumerate() {
+        let class = if matrix.classes[i].is_safe() {
+            "safe"
+        } else {
+            "unknown"
+        };
+        let row: String = matrix.conflicts[i]
+            .iter()
+            .map(|&c| if c { " X" } else { " ·" })
+            .collect();
+        println!("  {tname:width$}  {class:7} {row}");
+    }
+
+    let mut safe = 0usize;
+    let mut template_safe = 0usize;
+    for _ in 0..SAMPLES {
+        let template = generator.next_template();
+        if analyzer.classify_template(&template).is_safe() {
+            template_safe += 1;
+        }
+        if analyzer.classify_instance(&template).is_safe() {
+            safe += 1;
+        }
+    }
+    println!(
+        "  instance safe-rate: {:.1}% ({safe}/{SAMPLES}); template safe-rate: {:.1}%; \
+         instance rescue possible: {}",
+        100.0 * safe as f64 / SAMPLES as f64,
+        100.0 * template_safe as f64 / SAMPLES as f64,
+        analyzer.any_safe_possible(),
+    );
+    println!();
+}
+
+fn main() {
+    println!(
+        "Key-granular conflict analysis, {NUM_ACCOUNTS} accounts, {SAMPLES} sampled instances \
+         per mix\n"
+    );
+    let mixes: Vec<(&str, WorkloadKind)> = vec![
+        ("kv-update θ=0.5", WorkloadKind::KvUpdate { theta: 0.5 }),
+        ("ycsb-a", WorkloadKind::Ycsb(YcsbProfile::a())),
+        ("ycsb-b", WorkloadKind::Ycsb(YcsbProfile::b())),
+        (
+            "ycsb-a part. 1/8",
+            WorkloadKind::Ycsb(YcsbProfile::a().with_write_partition(0.125)),
+        ),
+        (
+            "ycsb-b part. 1/8",
+            WorkloadKind::Ycsb(YcsbProfile::b().with_write_partition(0.125)),
+        ),
+        ("ycsb-c", WorkloadKind::Ycsb(YcsbProfile::c())),
+        ("ycsb-f", WorkloadKind::Ycsb(YcsbProfile::f())),
+        ("modified-smallbank", WorkloadKind::ModifiedSmallbank),
+        (
+            "mixed-smallbank θ=0.7",
+            WorkloadKind::MixedSmallbank { theta: 0.7 },
+        ),
+        ("create-account", WorkloadKind::CreateAccount),
+    ];
+    for (name, kind) in mixes {
+        report(name, kind);
+    }
+}

@@ -7,12 +7,15 @@
 //!
 //! Replays 200 endorsed transactions of each mix through `FabricSharpCC::on_arrival` plus one
 //! `cut_block`, median of 15 runs, with the fast path off and on. Transactions are tagged by
-//! the static template classifier exactly like the simulator tags them, so the "on" column
-//! reflects what the knob buys on that mix: YCSB-C (100% reads) is entirely safe and bypasses
-//! the graph wholesale; YCSB-A/B/F and the Smallbank mixes contain writers whose templates
-//! classify unknown, so their numbers must stay at ~1.0× (the knob is inert there — and the
-//! `template_fastpath_determinism` battery pins that the ledgers are bit-identical either
-//! way). This binary produces the BASELINES.md "Template fast path" table.
+//! the key-granular conflict analyzer (instance classification) exactly like the simulator
+//! tags them, so the "on" column reflects what the knob buys on that mix: YCSB-C (100% reads)
+//! is entirely safe and bypasses the graph wholesale; the write-partitioned YCSB-B row shows
+//! the instance-level rescue — read instances whose sampled keys provably miss the write tail
+//! are safe even though the read template itself is not; unpartitioned YCSB-A/B/F and the
+//! Smallbank mixes classify unknown throughout, so their numbers must stay at ~1.0× (the knob
+//! is inert there — and the `template_fastpath_determinism` battery pins that the ledgers are
+//! bit-identical either way). This binary produces the BASELINES.md "Template fast path"
+//! table.
 
 use eov_common::config::{CcConfig, WorkloadParams};
 use eov_common::txn::{Transaction, TxnId};
@@ -32,7 +35,7 @@ fn endorsed_txns(kind: WorkloadKind) -> Vec<Transaction> {
         ..WorkloadParams::default()
     };
     let mut generator = WorkloadGenerator::new(kind, params, 7);
-    let classifier = generator.classifier();
+    let analyzer = generator.analyzer();
     let mut store = MultiVersionStore::new();
     store.seed_genesis(generator.genesis());
     let snapshots = SnapshotManager::new();
@@ -41,7 +44,7 @@ fn endorsed_txns(kind: WorkloadKind) -> Vec<Transaction> {
     (0..TXNS)
         .map(|i| {
             let template = generator.next_template();
-            let class = classifier.classify_template(&template);
+            let class = analyzer.classify_instance(&template);
             endorser
                 .simulate_at(&store, TxnId(i as u64 + 1), 0, |ctx| template.run(ctx))
                 .with_template_class(class)
@@ -76,6 +79,10 @@ fn main() {
     let workloads: Vec<(&str, WorkloadKind)> = vec![
         ("ycsb-a", WorkloadKind::Ycsb(YcsbProfile::a())),
         ("ycsb-b", WorkloadKind::Ycsb(YcsbProfile::b())),
+        (
+            "ycsb-b part.",
+            WorkloadKind::Ycsb(YcsbProfile::b().with_write_partition(0.125)),
+        ),
         ("ycsb-c", WorkloadKind::Ycsb(YcsbProfile::c())),
         ("ycsb-f", WorkloadKind::Ycsb(YcsbProfile::f())),
         ("modified-smallbank", WorkloadKind::ModifiedSmallbank),

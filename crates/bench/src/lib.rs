@@ -5,6 +5,8 @@
 //! "systems × sweep" runner, and plain-text table printing, so that each binary reads like the
 //! experiment it reproduces.
 
+#![forbid(unsafe_code)]
+
 use eov_baselines::api::SystemKind;
 use eov_sim::{SimReport, SimulationConfig, Simulator};
 

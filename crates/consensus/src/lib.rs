@@ -10,6 +10,8 @@
 //!   and the hash-commitment mitigation that hides transaction contents until the order is
 //!   fixed.
 
+#![forbid(unsafe_code)]
+
 pub mod adversary;
 pub mod log;
 pub mod orderer;

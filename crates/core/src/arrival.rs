@@ -57,6 +57,7 @@ impl FabricSharpCC {
             self.safe_pending.push(txn.id);
             self.pending_txns.insert(txn.id.0, txn);
             self.stats.accepted += 1;
+            self.stats.fastpath_accepted += 1;
             return CommitDecision::Accept;
         }
 

@@ -22,6 +22,8 @@
 //!   used to verify end-to-end that everything FabricSharp commits is serializable.
 //! * [`stats`] — the per-phase latency and abort statistics reported in Figures 11–14.
 
+#![forbid(unsafe_code)]
+
 pub mod arrival;
 pub mod dependency;
 pub mod endorser;

@@ -48,6 +48,7 @@ pub fn serialization_order(history: &[Transaction]) -> Option<Vec<TxnId>> {
             version_installer.insert((w.key.as_str(), end), txn.id);
         }
     }
+    // lint-determinism: allow (each value is sorted independently; visit order is irrelevant)
     for writers in writers_by_key.values_mut() {
         writers.sort();
     }
@@ -61,6 +62,7 @@ pub fn serialization_order(history: &[Transaction]) -> Option<Vec<TxnId>> {
     };
 
     // ww edges: consecutive writers of the same key in commit order.
+    // lint-determinism: allow (edges are a set; insertion order cannot change its contents)
     for writers in writers_by_key.values() {
         for pair in writers.windows(2) {
             add_edge(pair[0].1, pair[1].1, &mut edges);
@@ -94,6 +96,7 @@ pub fn serialization_order(history: &[Transaction]) -> Option<Vec<TxnId>> {
 /// ids appear in `ids` (commit order), so the witness is stable.
 fn topological_order(ids: &[TxnId], edges: &HashMap<TxnId, HashSet<TxnId>>) -> Option<Vec<TxnId>> {
     let mut indegree: HashMap<TxnId, usize> = ids.iter().map(|id| (*id, 0)).collect();
+    // lint-determinism: allow (indegree increments are commutative)
     for targets in edges.values() {
         for t in targets {
             *indegree.get_mut(t).expect("known id") += 1;

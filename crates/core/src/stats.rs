@@ -18,6 +18,14 @@ pub struct CcStats {
     pub arrivals: u64,
     /// Transactions accepted into the pending set.
     pub accepted: u64,
+    /// Of the accepted transactions, how many were admitted through the template fast path
+    /// (`CcConfig::template_fastpath` + a [`TemplateClass::Safe`] tag) and therefore skipped
+    /// dependency resolution, the cycle probe and the graph entirely. The simulator exports
+    /// this so benches can check it against the static conflict analyzer's predicted safe
+    /// count — the two must agree exactly.
+    ///
+    /// [`TemplateClass::Safe`]: eov_common::txn::TemplateClass::Safe
+    pub fastpath_accepted: u64,
     /// Early aborts by reason (before the transaction was sequenced into a block).
     pub early_aborts: HashMap<AbortReason, u64>,
     /// Of the early aborts, how many were bloom-filter false positives (only known when exact
@@ -61,6 +69,7 @@ impl CcStats {
 
     /// Total early aborts across all reasons.
     pub fn early_abort_total(&self) -> u64 {
+        // lint-determinism: allow (commutative sum)
         self.early_aborts.values().sum()
     }
 

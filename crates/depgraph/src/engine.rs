@@ -290,6 +290,7 @@ impl GraphEngine {
     pub fn prune_for_next_block(&mut self, next_block: u64) -> usize {
         let threshold = snapshot_threshold(next_block, self.config().max_span);
         let before = self.untracked.len();
+        // lint-determinism: allow (pure filter; the predicate has no side effects)
         self.untracked.retain(|_, block| *block >= threshold);
         let untracked_pruned = before - self.untracked.len();
         let graph_pruned = match &mut self.kind {

@@ -210,6 +210,7 @@ impl PendingList {
 
     /// Removes every id in `ids`, preserving the relative order of the survivors.
     fn remove_all(&mut self, ids: &HashSet<u64>) {
+        // lint-determinism: allow (removals are commutative; compaction runs after the loop)
         for id in ids {
             if let Some(slot) = self.index.remove(id) {
                 self.slots[slot] = None;
@@ -802,7 +803,13 @@ impl DependencyGraph {
             return;
         }
         self.pending.remove_all(ids);
-        for id in ids {
+        // Release in sorted id order: the interner recycles slots LIFO, so iterating the
+        // HashSet directly would make future slot assignments (and thus slot-ordered node
+        // walks) depend on hash-seeded iteration order.
+        // lint-determinism: allow (sorted immediately below)
+        let mut ordered: Vec<u64> = ids.iter().copied().collect();
+        ordered.sort_unstable();
+        for id in &ordered {
             let Some(slot) = self.interner.release(TxnId(*id)) else {
                 continue;
             };

@@ -88,6 +88,7 @@ impl Interner {
     /// Iterates every live interned id, in arbitrary order (order-insensitive consumers only,
     /// e.g. whole-graph test oracles).
     pub fn live_ids(&self) -> impl Iterator<Item = TxnId> + '_ {
+        // lint-determinism: allow (documented arbitrary order; consumers must not sequence on it)
         self.map.keys().map(|&id| TxnId(id))
     }
 }

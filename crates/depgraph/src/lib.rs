@@ -28,6 +28,8 @@
 //! * [`engine`] — [`engine::GraphEngine`], the orderer-facing dispatch between the global and
 //!   sharded variants, selected by `CcConfig::store_shards`.
 
+#![forbid(unsafe_code)]
+
 pub mod bloom;
 pub mod cycle;
 pub mod engine;

@@ -33,7 +33,11 @@ impl DependencyGraph {
             .filter(|n| !n.is_pending() && n.age < threshold)
             .map(|n| n.id.0)
             .collect();
-        let pruned: Vec<TxnId> = victims.iter().map(|id| TxnId(*id)).collect();
+        // Sorted return order: the victim set iterates in hash order, which must never leak
+        // into anything callers sequence on.
+        // lint-determinism: allow (sorted immediately below)
+        let mut pruned: Vec<TxnId> = victims.iter().map(|id| TxnId(*id)).collect();
+        pruned.sort_unstable();
         self.remove_many(&victims);
         pruned
     }

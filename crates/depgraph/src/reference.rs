@@ -425,7 +425,9 @@ impl NaiveGraph {
     /// Rebuilds every reach set from the current successor edges (the maintenance counterpart
     /// of the two-filter relay, naive edition).
     pub fn rebuild_reachability(&mut self) -> usize {
-        let ids: Vec<TxnId> = self.nodes.values().map(|n| n.id).collect();
+        // lint-determinism: allow (sorted immediately below)
+        let mut ids: Vec<TxnId> = self.nodes.values().map(|n| n.id).collect();
+        ids.sort_unstable();
         if ids.is_empty() {
             return 0;
         }

@@ -619,7 +619,9 @@ impl ShardedDependencyGraph {
             return;
         }
         if self.border_total == 0 {
-            let mut heads_by_shard: HashMap<usize, Vec<TxnId>> = HashMap::new();
+            // BTreeMap: shard visit order must not depend on hash seeding (the shards are
+            // disjoint here, but deterministic order keeps traces reproducible).
+            let mut heads_by_shard: BTreeMap<usize, Vec<TxnId>> = BTreeMap::new();
             for &head in heads {
                 if let Some(homes) = self.homes(head) {
                     heads_by_shard.entry(homes[0]).or_default().push(head);
@@ -1032,7 +1034,13 @@ impl ShardedDependencyGraph {
                 }
             }
         }
-        for id in &removed {
+        // Release in sorted id order: the interner recycles slots LIFO, so iterating the
+        // HashSet directly would make future slot assignments (and thus slot-ordered walks)
+        // depend on hash-seeded iteration order.
+        // lint-determinism: allow (sorted immediately below)
+        let mut removed_ids: Vec<u64> = removed.into_iter().collect();
+        removed_ids.sort_unstable();
+        for id in &removed_ids {
             if let Some(slot) = self.gid.release(TxnId(*id)) {
                 let homes = std::mem::take(&mut self.homes_at[slot as usize]);
                 if homes.len() > 1 {
@@ -1043,7 +1051,7 @@ impl ShardedDependencyGraph {
                 }
             }
         }
-        removed.len()
+        removed_ids.len()
     }
 }
 

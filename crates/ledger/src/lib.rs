@@ -11,6 +11,8 @@
 //! * [`chain`] — the append-only hash-chained block store with integrity verification
 //!   (the safety properties of Section 3.5: hash-chain integrity, no skipping, no creation).
 
+#![forbid(unsafe_code)]
+
 pub mod block;
 pub mod chain;
 pub mod sha256;

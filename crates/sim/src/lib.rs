@@ -13,6 +13,8 @@
 //! * [`metrics`] — [`metrics::SimReport`]: raw/effective throughput, latency, abort breakdown,
 //!   block span, reachability hops, measured CC overheads.
 
+#![forbid(unsafe_code)]
+
 pub mod events;
 pub mod metrics;
 mod pipeline;

@@ -2,6 +2,7 @@
 
 use eov_baselines::api::SystemKind;
 use eov_common::abort::AbortReason;
+use eov_workload::conflict::ConflictMatrix;
 use std::collections::HashMap;
 
 /// Wall-clock statistics of the per-block formation step (`cut_block`), measured — not
@@ -80,6 +81,15 @@ pub struct SimReport {
     pub committed_with_anti_rw: u64,
     /// Measured per-block formation wall-clock (p50/p99/total) on this machine.
     pub formation: FormationTiming,
+    /// Offered transactions the static conflict analyzer classified instance-Safe (tagged
+    /// before the orderer saw them; independent of whether the fast path was switched on).
+    pub safe_tagged: u64,
+    /// Accepted transactions that actually rode the orderer's template fast path (zero when
+    /// `CcConfig::template_fastpath` is off or the system lacks the knob).
+    pub fastpath_accepted: u64,
+    /// The static template×template conflict matrix of the workload's mix, for downstream
+    /// consumers (the `conflict_matrix` bench bin; later the Block-STM-style scheduler).
+    pub conflict_matrix: ConflictMatrix,
 }
 
 impl SimReport {
@@ -146,6 +156,16 @@ impl SimReport {
     pub fn aborts_for(&self, reason: AbortReason) -> u64 {
         self.aborts.get(&reason).copied().unwrap_or(0)
     }
+
+    /// Fraction of offered transactions the conflict analyzer proved instance-Safe, in
+    /// `[0, 1]` — the mix's static fast-path eligibility.
+    pub fn safe_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.safe_tagged as f64 / self.offered as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +192,9 @@ mod tests {
             measured_arrival_us_per_txn: 0.0,
             committed_with_anti_rw: 0,
             formation: FormationTiming::default(),
+            safe_tagged: 250,
+            fastpath_accepted: 0,
+            conflict_matrix: ConflictMatrix::default(),
         }
     }
 
@@ -180,6 +203,7 @@ mod tests {
         let r = report();
         assert_eq!(r.raw_tps(), 90.0);
         assert_eq!(r.effective_tps(), 85.0);
+        assert!((r.safe_rate() - 0.25).abs() < 1e-12);
         assert_eq!(r.aborted(), 50);
         assert!((r.abort_rate() - 0.05).abs() < 1e-12);
         assert_eq!(r.aborts_for(AbortReason::StaleRead), 30);

@@ -182,12 +182,13 @@ impl Simulator {
         let mut cc: Box<dyn ConcurrencyControl> = config.system.build(cc_config);
         let needs_validation = cc.needs_peer_validation();
 
-        // Template-robustness classifier (Section: template fast path). The class of every
-        // generated template is computed here — identically whether `cc.template_fastpath`
+        // Key-granular conflict analyzer (see `eov_workload::conflict`). The class of every
+        // generated *instance* is computed here — identically whether `cc.template_fastpath`
         // is on or off — and stamped on the transaction before it reaches the CC, so the
         // knob alone decides whether the fast path activates.
-        let classifier = generator.classifier();
+        let analyzer = generator.analyzer();
         let mut class_by_request: HashMap<u64, TemplateClass> = HashMap::new();
+        let mut safe_tagged: u64 = 0;
 
         // Stage backends (inline for endorser_shards == 0, threaded otherwise).
         let mut endorse_stage =
@@ -246,7 +247,11 @@ impl Simulator {
                     }
                     offered += 1;
                     let template = generator.next_template();
-                    class_by_request.insert(request_no, classifier.classify_template(&template));
+                    let class = analyzer.classify_instance(&template);
+                    if class.is_safe() {
+                        safe_tagged += 1;
+                    }
+                    class_by_request.insert(request_no, class);
                     let endorse_ms = profile.endorse_base_ms
                         + config.params.read_interval_ms as f64 * template.read_count() as f64;
                     let done_at = now + ms(endorse_ms);
@@ -453,6 +458,9 @@ impl Simulator {
                 / offered.max(1) as f64,
             committed_with_anti_rw,
             formation: FormationTiming::from_samples(&mut formation_us),
+            safe_tagged,
+            fastpath_accepted: cc.fastpath_accepted(),
+            conflict_matrix: analyzer.matrix().clone(),
         };
         (report, ledger)
     }

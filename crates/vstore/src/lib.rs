@@ -23,6 +23,8 @@
 //!   [`eov_common::shard::ShardRouter`], and [`sharded::ShardedIndices`] partitions the
 //!   CW/CR/PW/PR dependency-resolution indices the same way.
 
+#![forbid(unsafe_code)]
+
 pub mod index;
 pub mod mvstore;
 pub mod pending;

@@ -123,6 +123,13 @@ impl WorkloadGenerator {
         crate::templates::TemplateClassifier::new(&self.kind)
     }
 
+    /// The key-granular conflict analyzer for this workload's mix (see [`crate::conflict`]):
+    /// refines [`WorkloadGenerator::classifier`] from template-level to instance-level safe
+    /// classification, over domains derived from these exact generator parameters.
+    pub fn analyzer(&self) -> crate::conflict::ConflictAnalyzer {
+        crate::conflict::ConflictAnalyzer::new(&self.kind, &self.params)
+    }
+
     /// The genesis state this workload expects.
     pub fn genesis(&self) -> Vec<(Key, Value)> {
         match &self.kind {

@@ -14,7 +14,14 @@
 //! * [`templates`] — Vandevoort-style template-robustness analysis: classifies each
 //!   template in a workload's mix as safe (provably cycle-free) or unknown, feeding the
 //!   orderer's `template_fastpath` knob.
+//! * [`conflict`] — the key-granular refinement of [`templates`]: symbolic per-template
+//!   key-expression footprints with functional constraints, a static template×template
+//!   conflict matrix, and **instance-level** safe classification (rescuing e.g. YCSB-B read
+//!   transactions whose sampled keys provably miss the write partition).
 
+#![forbid(unsafe_code)]
+
+pub mod conflict;
 pub mod contracts;
 pub mod generator;
 pub mod smallbank;
@@ -22,6 +29,7 @@ pub mod templates;
 pub mod ycsb;
 pub mod zipf;
 
+pub use conflict::{ConflictAnalyzer, ConflictMatrix, KeyExpr, ParamDomain, TemplateFootprint};
 pub use contracts::{KvUpdateContract, NoOpContract, SmartContract};
 pub use generator::{TxnTemplate, WorkloadGenerator, WorkloadKind};
 pub use smallbank::{SmallbankContract, SmallbankOp};

@@ -1,18 +1,21 @@
 //! Determinism harness for the template-robustness fast path.
 //!
-//! `CcConfig::template_fastpath` lets transactions of statically safe template classes
-//! (classified once per workload mix by `eov_workload::templates`) bypass the dependency
-//! graph entirely: no node insertion, no cycle probing, no CW/CR/PW/PR entries, no
-//! ww-restoration participation. The knob is a pure execution-path optimisation — the paper's
-//! Algorithms 2/3/5 semantics must be preserved **bit for bit**. This battery pins that
-//! contract end to end: with the fast path on, every tested `S` (store shards) × `W`
-//! (formation threads) combination must reproduce the fastpath-off inline reference ledger
-//! block for block, hash for hash, for all five systems, two seeds, and workloads covering
-//! safe-heavy (YCSB-C: 100% reads), safe-fresh-writer (CreateAccount), and all-unknown
-//! (ModifiedSmallbank — the knob must be perfectly inert) mixes. It also pins the knob's
-//! composition with `endorser_shards`, transaction-level decisions through `SimpleChain`, and
-//! the structural claim that the fast path actually engages (graph stays empty on read-only
-//! traffic).
+//! `CcConfig::template_fastpath` lets transactions classified statically safe — per template
+//! by `eov_workload::templates`, and per *instance* by the key-granular
+//! `eov_workload::conflict` analyzer — bypass the dependency graph entirely: no node
+//! insertion, no cycle probing, no CW/CR/PW/PR entries, no ww-restoration participation. The
+//! knob is a pure execution-path optimisation — the paper's Algorithms 2/3/5 semantics must
+//! be preserved **bit for bit**. This battery pins that contract end to end: with the fast
+//! path on, every tested `S` (store shards) × `W` (formation threads) combination must
+//! reproduce the fastpath-off inline reference ledger block for block, hash for hash, for all
+//! five systems, two seeds, and workloads covering safe-heavy (YCSB-C: 100% reads),
+//! safe-fresh-writer (CreateAccount), instance-rescued (write-partitioned YCSB-B: read
+//! arrivals whose sampled keys miss the write tail are safe even though their template is
+//! not), and all-unknown (YCSB-A, ModifiedSmallbank — the knob must be perfectly inert)
+//! mixes. It also pins the knob's composition with `endorser_shards`, transaction-level
+//! decisions through `SimpleChain`, the structural claim that the fast path actually engages
+//! (graph stays empty on read-only traffic), and — via a randomized proptest over partition
+//! geometry — that instance-safe bypass preserves the raw orderer's commit sequence exactly.
 
 use fabricsharp::baselines::{SimpleChain, SystemKind};
 use fabricsharp::common::config::{CcConfig, WorkloadParams};
@@ -34,6 +37,14 @@ fn workloads() -> Vec<(&'static str, WorkloadKind)> {
         ("ycsb-c", WorkloadKind::Ycsb(YcsbProfile::c())),
         // Blind writers of fresh keys: safe through the fresh-write rule.
         ("create-account", WorkloadKind::CreateAccount),
+        // Instance-rescued: the read template conflicts with the writer template, but reads
+        // whose sampled keys land below the write partition are provably safe per instance.
+        (
+            "ycsb-b part.",
+            WorkloadKind::Ycsb(YcsbProfile::b().with_write_partition(0.125)),
+        ),
+        // 50% updates over the full population: every instance unknown, knob inert.
+        ("ycsb-a", WorkloadKind::Ycsb(YcsbProfile::a())),
         // Every template unknown: the knob must change nothing at all.
         ("modified-smallbank", WorkloadKind::ModifiedSmallbank),
     ]
@@ -156,6 +167,10 @@ fn decisions_and_commit_orders_match_transaction_for_transaction() {
     for (name, workload) in [
         ("ycsb-c", WorkloadKind::Ycsb(YcsbProfile::c())),
         ("ycsb-a", WorkloadKind::Ycsb(YcsbProfile::a())),
+        (
+            "ycsb-b part.",
+            WorkloadKind::Ycsb(YcsbProfile::b().with_write_partition(0.125)),
+        ),
         ("create-account", WorkloadKind::CreateAccount),
     ] {
         let params = WorkloadParams {
@@ -163,7 +178,7 @@ fn decisions_and_commit_orders_match_transaction_for_transaction() {
             ..WorkloadParams::default()
         };
         let mut generator = WorkloadGenerator::new(workload, params, 99);
-        let classifier = generator.classifier();
+        let analyzer = generator.analyzer();
 
         let mut reference = SimpleChain::with_template_fastpath(SystemKind::FabricSharp, 0, false);
         let mut fast = SimpleChain::with_template_fastpath(SystemKind::FabricSharp, 0, true);
@@ -175,7 +190,7 @@ fn decisions_and_commit_orders_match_transaction_for_transaction() {
 
         for i in 0..120usize {
             let template = generator.next_template();
-            let class = classifier.classify_template(&template);
+            let class = analyzer.classify_instance(&template);
             let txn_ref = reference
                 .execute(|ctx| template.run(ctx))
                 .with_template_class(class);
@@ -299,5 +314,108 @@ fn fastpath_keeps_safe_transactions_out_of_the_graph() {
             !reference.graph().is_empty(),
             "reference must track every transaction"
         );
+    }
+}
+
+mod instance_soundness {
+    //! Randomized soundness: for arbitrary write-partition geometry, instance-safe bypass
+    //! must preserve the raw orderer's commit sequence (ids *and* slots) exactly, at every
+    //! store-shard × formation-thread combination.
+
+    use fabricsharp::common::config::{CcConfig, WorkloadParams};
+    use fabricsharp::common::txn::{Transaction, TxnId};
+    use fabricsharp::common::version::SeqNo;
+    use fabricsharp::core::endorser::SnapshotEndorser;
+    use fabricsharp::core::FabricSharpCC;
+    use fabricsharp::vstore::{MultiVersionStore, SnapshotManager};
+    use fabricsharp::workload::generator::{WorkloadGenerator, WorkloadKind};
+    use fabricsharp::workload::YcsbProfile;
+    use proptest::prelude::*;
+
+    /// Endorses `count` write-partitioned YCSB-B transactions, instance-tagged by the
+    /// conflict analyzer, and returns them plus the analyzer's predicted safe count.
+    fn endorsed(seed: u64, records: usize, fraction: f64, count: usize) -> (Vec<Transaction>, u64) {
+        let kind = WorkloadKind::Ycsb(YcsbProfile::b().with_write_partition(fraction));
+        let params = WorkloadParams {
+            num_accounts: records,
+            ..WorkloadParams::default()
+        };
+        let mut generator = WorkloadGenerator::new(kind, params, seed);
+        let analyzer = generator.analyzer();
+        let mut store = MultiVersionStore::new();
+        store.seed_genesis(generator.genesis());
+        let snapshots = SnapshotManager::new();
+        snapshots.register_block(0);
+        let endorser = SnapshotEndorser::new(snapshots);
+        let mut predicted = 0u64;
+        let txns = (0..count)
+            .map(|i| {
+                let template = generator.next_template();
+                let class = analyzer.classify_instance(&template);
+                if class.is_safe() {
+                    predicted += 1;
+                }
+                endorser
+                    .simulate_at(&store, TxnId(i as u64 + 1), 0, |ctx| template.run(ctx))
+                    .with_template_class(class)
+            })
+            .collect();
+        (txns, predicted)
+    }
+
+    /// Runs every arrival plus one cut and returns the committed (id, slot) sequence and the
+    /// runtime fast-path bypass count.
+    fn commit_sequence(txns: &[Transaction], config: CcConfig) -> (Vec<(TxnId, SeqNo)>, u64) {
+        let mut cc = FabricSharpCC::new(config);
+        for txn in txns {
+            let _ = cc.on_arrival(txn.clone());
+        }
+        let sequence = cc
+            .cut_block()
+            .iter()
+            .map(|t| (t.id, t.end_ts.expect("cut transactions carry a slot")))
+            .collect();
+        (sequence, cc.stats().fastpath_accepted)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// For any partition geometry, fast path on reproduces the fastpath-off commit
+        /// sequence at every S × W combination, and the bypass count matches the analyzer's
+        /// prediction exactly.
+        #[test]
+        fn instance_fastpath_preserves_the_commit_sequence(
+            seed in 0u64..10_000,
+            records in 50usize..500,
+            fraction in 0.02f64..0.9,
+        ) {
+            let (txns, predicted) = endorsed(seed, records, fraction, 120);
+            let (reference, _) = commit_sequence(&txns, CcConfig::default());
+            prop_assert!(!reference.is_empty(), "reference run must commit work");
+
+            for shards in [0usize, 2, 4] {
+                for threads in [0usize, 2] {
+                    let (fast, bypassed) = commit_sequence(
+                        &txns,
+                        CcConfig {
+                            template_fastpath: true,
+                            store_shards: shards,
+                            formation_threads: threads,
+                            ..CcConfig::default()
+                        },
+                    );
+                    prop_assert_eq!(
+                        &reference, &fast,
+                        "commit sequence diverged at S{}/W{}", shards, threads
+                    );
+                    prop_assert_eq!(
+                        predicted, bypassed,
+                        "analyzer predicted {} safe but S{}/W{} bypassed {}",
+                        predicted, shards, threads, bypassed
+                    );
+                }
+            }
+        }
     }
 }

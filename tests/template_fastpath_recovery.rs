@@ -22,6 +22,7 @@ use fabricsharp::core::FabricSharpCC;
 use fabricsharp::ledger::Ledger;
 use fabricsharp::vstore::{StateRead, StateStore, StoreBackend};
 use fabricsharp::workload::generator::{WorkloadGenerator, WorkloadKind};
+use fabricsharp::workload::YcsbProfile;
 use proptest::prelude::*;
 
 const SHARD_COUNTS: [usize; 3] = [0, 2, 4];
@@ -41,12 +42,12 @@ fn build_ledger(
         ..WorkloadParams::default()
     };
     let mut generator = WorkloadGenerator::new(kind, params, seed);
-    let classifier = generator.classifier();
+    let analyzer = generator.analyzer();
     let mut chain = SimpleChain::with_template_fastpath(SystemKind::FabricSharp, 0, fastpath);
     chain.seed(generator.genesis());
     for i in 0..num_txns {
         let template = generator.next_template();
-        let class = classifier.classify_template(&template);
+        let class = analyzer.classify_instance(&template);
         let txn = chain
             .execute(|ctx| template.run(ctx))
             .with_template_class(class);
@@ -153,6 +154,83 @@ proptest! {
             }
 
             // ...and identical blocks when the recovered controllers keep running.
+            let cut_on = with_fastpath.cut_block();
+            let cut_off = without.cut_block();
+            let ids_on: Vec<_> = cut_on.iter().map(|t| (t.id, t.end_ts)).collect();
+            let ids_off: Vec<_> = cut_off.iter().map(|t| (t.id, t.end_ts)).collect();
+            prop_assert_eq!(ids_on, ids_off, "post-recovery block diverged (S={})", shards);
+        }
+    }
+
+    /// Same contract on an *instance-rescued* ledger: write-partitioned YCSB-B interleaves
+    /// untracked commits (reads the analyzer proved miss the write tail) with graph-inserted
+    /// ones (writers and tail reads) inside every block — the adversarial case for the
+    /// splice-preserving recovery rebuild. The ledger must not depend on the knob, and
+    /// recovered controllers must agree on resume point, replayed-suffix knowledge, verdicts
+    /// on fresh rescued/unknown arrivals, and the next cut.
+    #[test]
+    fn cold_replay_of_an_instance_rescued_ledger_is_equivalent(
+        seed in any::<u64>(),
+        num_txns in 24usize..44,
+        block_size in 4usize..8,
+    ) {
+        use fabricsharp::common::version::SeqNo;
+
+        let num_accounts = 64usize;
+        // Partition the top quarter: reads below index 48 are provably safe instances.
+        let kind = WorkloadKind::Ycsb(YcsbProfile::b().with_write_partition(0.25));
+        let ledger_on =
+            build_ledger(kind.clone(), num_accounts, num_txns, block_size, seed, true);
+        let ledger_off = build_ledger(kind, num_accounts, num_txns, block_size, seed, false);
+        prop_assert_eq!(ledger_on.tip_hash(), ledger_off.tip_hash());
+        prop_assert!(ledger_on.height() >= 2, "degenerate run: height {}", ledger_on.height());
+
+        for shards in SHARD_COUNTS {
+            let mut with_fastpath = recovered(&ledger_on, shards, true);
+            let mut without = recovered(&ledger_on, shards, false);
+            prop_assert_eq!(with_fastpath.next_block(), without.next_block());
+            prop_assert!(with_fastpath.graph().len() <= without.graph().len());
+            let replay_from = ledger_on
+                .height()
+                .saturating_sub(CcConfig::default().max_span)
+                .max(1);
+            for block in ledger_on.iter().filter(|b| b.number() >= replay_from) {
+                for entry in &block.entries {
+                    if entry.status.is_committed() {
+                        prop_assert!(
+                            with_fastpath.graph().knows(entry.txn.id),
+                            "fastpath recoverer must know replayed txn {:?} (S={})",
+                            entry.txn.id, shards
+                        );
+                    }
+                }
+            }
+
+            // Fresh in-contract arrivals: rescued reads (below the partition, tagged Safe by
+            // the instance rule) interleaved with unknown writers into the tail.
+            let base = 200_000u64;
+            let snapshot = ledger_on.height();
+            for i in 0..6u64 {
+                let probe = if i % 2 == 0 {
+                    Transaction::from_parts(
+                        base + i,
+                        snapshot,
+                        [(Key::new(format!("usertable:{}", i % 48)), SeqNo::zero())],
+                        [],
+                    )
+                    .with_template_class(TemplateClass::Safe)
+                } else {
+                    Transaction::from_parts(
+                        base + i,
+                        snapshot,
+                        [],
+                        [(Key::new(format!("usertable:{}", 48 + i % 16)), Value::from_i64(1))],
+                    )
+                };
+                let d_on = with_fastpath.on_arrival(probe.clone()).is_accept();
+                let d_off = without.on_arrival(probe).is_accept();
+                prop_assert_eq!(d_on, d_off, "probe {} diverged (S={})", i, shards);
+            }
             let cut_on = with_fastpath.cut_block();
             let cut_off = without.cut_block();
             let ids_on: Vec<_> = cut_on.iter().map(|t| (t.id, t.end_ts)).collect();
