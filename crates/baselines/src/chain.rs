@@ -15,8 +15,10 @@ use eov_common::config::CcConfig;
 use eov_common::rwset::{Key, Value};
 use eov_common::txn::{CommitDecision, Transaction, TxnId, TxnStatus};
 use eov_ledger::{Block, Ledger};
-use eov_vstore::{SnapshotManager, StateRead, StateStore, StoreBackend};
+use eov_vstore::{into_shared_backend, SnapshotManager, StateRead, StateStore, StoreBackend};
 use fabricsharp_core::endorser::{SimulationContext, SnapshotEndorser};
+use fabricsharp_core::scheduler::{CommitScheduler, WaveStats};
+use std::sync::Arc;
 
 /// Outcome of sealing one block.
 #[derive(Clone, Debug, Default)]
@@ -37,6 +39,9 @@ pub struct SimpleChain {
     ledger: Ledger,
     endorser: SnapshotEndorser,
     cc: Box<dyn ConcurrencyControl>,
+    /// The parallel commit scheduler (`execution_threads == 0` leaves commits on the classic
+    /// inline path; `E >= 1` routes every sealed block through wave execution).
+    scheduler: CommitScheduler,
     next_txn_id: u64,
     /// Every transaction that ever committed, in commit order (for serializability checks).
     committed_history: Vec<Transaction>,
@@ -97,8 +102,28 @@ impl SimpleChain {
         )
     }
 
+    /// Creates a chain committing sealed blocks through the parallel wave scheduler with
+    /// `execution_threads` workers (`0` = the classic inline commit; `store_shards` selects
+    /// the backend as in [`SimpleChain::with_store_shards`]). Ledger and store outcomes are
+    /// bit-identical at every thread count.
+    pub fn with_execution_threads(
+        kind: SystemKind,
+        store_shards: usize,
+        execution_threads: usize,
+    ) -> Self {
+        Self::with_cc_config(
+            kind,
+            CcConfig {
+                store_shards,
+                execution_threads,
+                ..CcConfig::default()
+            },
+        )
+    }
+
     /// Creates a chain with an explicit concurrency-control configuration
-    /// (`cc_config.store_shards` also selects the state-store backend).
+    /// (`cc_config.store_shards` also selects the state-store backend;
+    /// `cc_config.execution_threads` sizes the parallel commit scheduler).
     pub fn with_cc_config(kind: SystemKind, cc_config: CcConfig) -> Self {
         let snapshots = SnapshotManager::new();
         SimpleChain {
@@ -106,6 +131,7 @@ impl SimpleChain {
             store: StoreBackend::for_shards(cc_config.store_shards),
             ledger: Ledger::new(),
             endorser: SnapshotEndorser::new(snapshots),
+            scheduler: CommitScheduler::new(cc_config.execution_threads),
             cc: kind.build(cc_config),
             next_txn_id: 1,
             committed_history: Vec::new(),
@@ -182,11 +208,28 @@ impl SimpleChain {
             return BlockReport::default();
         }
         let block_no = self.ledger.height() + 1;
+        let needs_validation = self.cc.needs_peer_validation();
 
-        let statuses = if self.cc.needs_peer_validation() {
-            mvcc_validate_and_apply(&mut self.store, block_no, &ordered)
+        let statuses = if self.scheduler.threads() == 0 {
+            if needs_validation {
+                mvcc_validate_and_apply(&mut self.store, block_no, &ordered)
+            } else {
+                apply_without_validation(&mut self.store, block_no, &ordered)
+            }
         } else {
-            apply_without_validation(&mut self.store, block_no, &ordered)
+            // Route the block through the wave scheduler: temporarily wrap the owned backend
+            // in the shared handle the scheduler's workers need, then take it back. No other
+            // handle survives the call, so the unwrap cannot fail.
+            let backend = std::mem::replace(&mut self.store, StoreBackend::for_shards(0));
+            let shared = into_shared_backend(backend);
+            let txns = Arc::new(ordered.clone());
+            let outcome = self
+                .scheduler
+                .commit_block(&shared, block_no, &txns, needs_validation);
+            self.store = Arc::try_unwrap(shared)
+                .expect("scheduler released every store handle")
+                .into_inner();
+            outcome.statuses
         };
 
         let mut block = Block::build(block_no, self.ledger.tip_hash(), ordered.clone());
@@ -243,6 +286,12 @@ impl SimpleChain {
     /// Early aborts recorded at submission time (endorsement or arrival).
     pub fn early_aborted(&self) -> &[(TxnId, AbortReason)] {
         &self.early_aborted
+    }
+
+    /// Cumulative wave statistics of the parallel commit scheduler (all zero when
+    /// `execution_threads == 0`).
+    pub fn wave_stats(&self) -> WaveStats {
+        self.scheduler.stats()
     }
 }
 

@@ -10,7 +10,7 @@
 //! order. For identical inputs, `ParallelChain` therefore produces block-for-block the same
 //! ledger as `SimpleChain` — which the cross-facade determinism tests assert.
 
-use crate::api::{commit_block, ConcurrencyControl, SystemKind};
+use crate::api::{ConcurrencyControl, SystemKind};
 use crate::chain::BlockReport;
 use eov_common::abort::AbortReason;
 use eov_common::config::CcConfig;
@@ -22,6 +22,8 @@ use eov_vstore::{
 };
 use fabricsharp_core::endorser::SnapshotEndorser;
 use fabricsharp_core::pipeline::{CommitWorker, EndorseJob, EndorseLogic, EndorserPool};
+use fabricsharp_core::scheduler::{CommitScheduler, WaveStats};
+use std::sync::{Arc, Mutex};
 
 /// A single-node EOV blockchain whose endorsement and commit stages run on worker threads.
 pub struct ParallelChain {
@@ -31,6 +33,9 @@ pub struct ParallelChain {
     cc: Box<dyn ConcurrencyControl>,
     endorsers: EndorserPool,
     committer: CommitWorker,
+    /// The wave-execution commit scheduler, shared with the committer thread's block jobs
+    /// (only ever locked by one job at a time — the committer is a single-lane stage).
+    scheduler: Arc<Mutex<CommitScheduler>>,
     next_txn_id: u64,
     committed_history: Vec<Transaction>,
     early_aborted: Vec<(TxnId, AbortReason)>,
@@ -84,13 +89,40 @@ impl ParallelChain {
         )
     }
 
+    /// Creates a chain committing delivered blocks through the parallel wave scheduler with
+    /// `execution_threads` workers (`0` = the inline serial reference), on top of
+    /// `endorser_shards` endorsement workers and `store_shards` key-space shards. Ledger
+    /// outcomes are bit-identical at every `(endorser_shards, store_shards,
+    /// execution_threads)` combination.
+    pub fn with_execution_threads(
+        kind: SystemKind,
+        endorser_shards: usize,
+        store_shards: usize,
+        execution_threads: usize,
+    ) -> Self {
+        Self::with_cc_config(
+            kind,
+            CcConfig {
+                store_shards,
+                execution_threads,
+                ..CcConfig::default()
+            },
+            endorser_shards,
+        )
+    }
+
     /// Creates a chain with an explicit concurrency-control configuration
-    /// (`cc_config.store_shards` also selects the state-store backend).
+    /// (`cc_config.store_shards` also selects the state-store backend;
+    /// `cc_config.execution_threads` sizes the parallel commit scheduler).
     pub fn with_cc_config(kind: SystemKind, cc_config: CcConfig, endorser_shards: usize) -> Self {
         let store = into_shared_backend(StoreBackend::for_shards(cc_config.store_shards));
         let snapshots = SnapshotManager::new();
         let endorser = SnapshotEndorser::new(snapshots.clone());
+        let scheduler = Arc::new(Mutex::new(CommitScheduler::new(
+            cc_config.execution_threads,
+        )));
         ParallelChain {
+            scheduler,
             kind,
             endorsers: EndorserPool::spawn(endorser_shards, SharedStore::clone(&store), endorser),
             committer: CommitWorker::spawn(SharedStore::clone(&store)),
@@ -178,10 +210,16 @@ impl ParallelChain {
         }
         let block_no = self.ledger.height() + 1;
         let needs_validation = self.cc.needs_peer_validation();
-        let job_txns = ordered.clone();
+        let job_txns = Arc::new(ordered.clone());
+        let scheduler = Arc::clone(&self.scheduler);
         self.committer.begin(
             block_no,
-            Box::new(move |store| commit_block(store, block_no, &job_txns, needs_validation)),
+            Box::new(move |store| {
+                scheduler
+                    .lock()
+                    .expect("commit scheduler poisoned")
+                    .commit_block(store, block_no, &job_txns, needs_validation)
+            }),
         );
         let outcome = self.committer.finish(block_no);
 
@@ -234,6 +272,15 @@ impl ParallelChain {
     /// Early aborts recorded at submission time (endorsement or arrival).
     pub fn early_aborted(&self) -> &[(TxnId, AbortReason)] {
         &self.early_aborted
+    }
+
+    /// Cumulative wave statistics of the parallel commit scheduler (all zero when
+    /// `execution_threads == 0` — the inline reference schedules no waves).
+    pub fn wave_stats(&self) -> WaveStats {
+        self.scheduler
+            .lock()
+            .expect("commit scheduler poisoned")
+            .stats()
     }
 }
 

@@ -28,7 +28,13 @@
 //!   number of transactions the conflict analyzer predicted (runtime `fastpath_accepted` ==
 //!   static safe-tag count, ±0), and
 //! * the inline, sharded and parallel-formation paths must commit the **identical** id order
-//!   on the ww-heavy and cross-shard inputs (the determinism hard check).
+//!   on the ww-heavy and cross-shard inputs (the determinism hard check),
+//! * the commit scheduler's wave decomposition must be reproducible and have the statically
+//!   known shape (one maximal wave on the disjoint block, ~40-wide waves on the hot block),
+//!   the `E = 4` wave commit must leave the store byte-identical to the `E = 0` serial
+//!   reference, and — **only when the runner has ≥ 2 cores** — the parallel commit of the
+//!   disjoint block must beat the serial one (on a single-core runner the check is reported
+//!   as SKIP: there is no parallelism to win).
 //!
 //! Exit codes: 0 — pass (or baseline recorded); 1 — regression / structural failure;
 //! 2 — baseline missing or unreadable (run with `--record` first). CI runs this as a
@@ -41,13 +47,17 @@ use eov_common::rwset::{Key, Value};
 use eov_common::txn::{Transaction, TxnId};
 use eov_common::version::SeqNo;
 use eov_depgraph::{DependencyGraph, NaiveGraph, PendingTxnSpec};
-use eov_vstore::{MultiVersionStore, SnapshotManager};
+use eov_vstore::{
+    into_shared_backend, MultiVersionStore, SnapshotManager, StateStore, StoreBackend,
+};
 use eov_workload::generator::{WorkloadGenerator, WorkloadKind};
 use eov_workload::YcsbProfile;
 use fabricsharp_core::endorser::SnapshotEndorser;
+use fabricsharp_core::scheduler::{plan_waves, CommitScheduler, WideningTable};
 use fabricsharp_core::FabricSharpCC;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Timed runs per benchmark; the reported number is the median.
@@ -215,6 +225,47 @@ struct BenchContext {
     /// tags the ~75% rescued arrivals `Safe`.
     ycsb_b200: Vec<Transaction>,
     ww_heavy: Vec<Transaction>,
+    /// 2048 conflict-free read-modify-write transactions (one maximal wave): the
+    /// embarrassingly parallel upper bound for the wave-commit scheduler.
+    commit_disjoint: Arc<Vec<Transaction>>,
+    /// The sharded (`S = 4`) genesis-seeded backend the disjoint block commits against.
+    commit_disjoint_seed: StoreBackend,
+    /// 2048 blind writers over 40 hot keys (~40-wide waves): the coordination-bound case.
+    commit_hot: Arc<Vec<Transaction>>,
+}
+
+/// Transactions per synthetic wave-commit block.
+const COMMIT_BLOCK: usize = 2048;
+
+/// `COMMIT_BLOCK` transactions, each reading its own genesis key and writing it back.
+fn commit_disjoint_txns() -> Vec<Transaction> {
+    (0..COMMIT_BLOCK as u64)
+        .map(|i| {
+            Transaction::from_parts(
+                i + 1,
+                0,
+                [(Key::new(format!("acct:{i}")), SeqNo::new(0, i as u32 + 1))],
+                [(Key::new(format!("acct:{i}")), Value::from_i64(2))],
+            )
+        })
+        .collect()
+}
+
+/// `COMMIT_BLOCK` blind writers over 40 hot keys.
+fn commit_hot_txns() -> Vec<Transaction> {
+    (0..COMMIT_BLOCK as u64)
+        .map(|i| {
+            Transaction::from_parts(
+                i + 1,
+                0,
+                [],
+                [(
+                    Key::new(format!("hot:{}", i % 40)),
+                    Value::from_i64(i as i64),
+                )],
+            )
+        })
+        .collect()
 }
 
 impl BenchContext {
@@ -236,13 +287,38 @@ impl BenchContext {
                 200,
             ),
             ww_heavy: ww_heavy_txns(),
+            commit_disjoint: Arc::new(commit_disjoint_txns()),
+            commit_disjoint_seed: {
+                let mut backend = StoreBackend::for_shards(4);
+                backend.seed_genesis(
+                    (0..COMMIT_BLOCK).map(|i| (Key::new(format!("acct:{i}")), Value::from_i64(1))),
+                );
+                backend
+            },
+            commit_hot: Arc::new(commit_hot_txns()),
         }
+    }
+
+    /// Median wall-clock of committing `txns` as block 1 on a clone of `seed` with an
+    /// `E`-thread wave scheduler (pool spawned outside the timed region).
+    fn measure_commit(&self, seed: &StoreBackend, txns: &Arc<Vec<Transaction>>, e: usize) -> f64 {
+        let mut scheduler = CommitScheduler::new(e);
+        let txns = Arc::clone(txns);
+        median_ns(move || {
+            let store = into_shared_backend(seed.clone());
+            let outcome = scheduler.commit_block(&store, 1, &txns, true);
+            outcome.statuses.len() as u64
+        })
     }
 
     /// Every gated benchmark name, in reporting order.
     fn names() -> &'static [&'static str] {
         &[
             "build_layered_512",
+            "commit_wave_disjoint2048_e0",
+            "commit_wave_disjoint2048_e4",
+            "commit_wave_hot2048_e0",
+            "commit_wave_hot2048_e4",
             "formation_ww_restore_400",
             "formation_ww_restore_400_s4",
             "formation_ww_restore_400_s4_w2",
@@ -312,6 +388,18 @@ impl BenchContext {
                 g.len() as u64
             }),
             "build_layered_512" => median_ns(|| layered(512, 3).len() as u64),
+            "commit_wave_disjoint2048_e0" => {
+                self.measure_commit(&self.commit_disjoint_seed, &self.commit_disjoint, 0)
+            }
+            "commit_wave_disjoint2048_e4" => {
+                self.measure_commit(&self.commit_disjoint_seed, &self.commit_disjoint, 4)
+            }
+            "commit_wave_hot2048_e0" => {
+                self.measure_commit(&StoreBackend::for_shards(4), &self.commit_hot, 0)
+            }
+            "commit_wave_hot2048_e4" => {
+                self.measure_commit(&StoreBackend::for_shards(4), &self.commit_hot, 4)
+            }
             "formation_ww_restore_400" => median_ns(|| arrival_and_cut(&self.ww_heavy, 0, 0)),
             "formation_ww_restore_400_s4" => median_ns(|| arrival_and_cut(&self.ww_heavy, 4, 0)),
             "formation_ww_restore_400_s4_w2" => median_ns(|| arrival_and_cut(&self.ww_heavy, 4, 2)),
@@ -469,6 +557,83 @@ fn main() {
             );
             failures += 1;
         }
+    }
+    // Wave-commit scheduler, machine-independent checks first: the wave decomposition must be
+    // a reproducible pure function of the block with the statically known shape — one maximal
+    // wave on the conflict-free block, exactly 40-wide waves on the hot-key block.
+    let widening = WideningTable::from_conflicts(&[]);
+    for (input_name, txns, expected_waves) in [
+        ("commit_disjoint2048", &ctx.commit_disjoint, 1usize),
+        (
+            "commit_hot2048",
+            &ctx.commit_hot,
+            ctx.commit_hot.len().div_ceil(40),
+        ),
+    ] {
+        let plan_a = plan_waves(txns, &widening);
+        let plan_b = plan_waves(txns, &widening);
+        if plan_a == plan_b && plan_a.wave_count() == expected_waves {
+            println!(
+                "  OK   {input_name}: wave decomposition reproducible ({} waves, expected {expected_waves})",
+                plan_a.wave_count()
+            );
+        } else {
+            println!(
+                "  FAIL {input_name}: wave decomposition not reproducible or wrong shape ({} vs {} waves, expected {expected_waves})",
+                plan_a.wave_count(),
+                plan_b.wave_count()
+            );
+            failures += 1;
+        }
+    }
+    // The E = 4 wave commit must leave the store byte-identical to the E = 0 serial
+    // reference (the determinism hard check on the execution stage).
+    {
+        let commit_store = |e: usize| {
+            let mut scheduler = CommitScheduler::new(e);
+            let store = into_shared_backend(ctx.commit_disjoint_seed.clone());
+            let outcome = scheduler.commit_block(&store, 1, &ctx.commit_disjoint, true);
+            (outcome.statuses, format!("{:?}", store.read()))
+        };
+        let (statuses_serial, store_serial) = commit_store(0);
+        let (statuses_waved, store_waved) = commit_store(4);
+        if statuses_serial == statuses_waved && store_serial == store_waved {
+            println!(
+                "  OK   commit_disjoint2048: E=4 statuses and store byte-identical to E=0 ({} txns)",
+                statuses_serial.len()
+            );
+        } else {
+            println!(
+                "  FAIL commit_disjoint2048: E=4 commit diverged from the E=0 serial reference"
+            );
+            failures += 1;
+        }
+    }
+    // The scaling claim itself — only meaningful when the runner actually has cores to use.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 2 {
+        let serial = results["commit_wave_disjoint2048_e0"];
+        let mut waved = results["commit_wave_disjoint2048_e4"];
+        if waved >= serial {
+            // One retry to filter a transient load spike, as for the band comparisons.
+            waved = ctx.measure("commit_wave_disjoint2048_e4").min(waved);
+        }
+        if waved < serial {
+            println!(
+                "  OK   wave commit scaling: E=4 {:.2}x over serial on the disjoint block ({cores} cores)",
+                serial / waved
+            );
+        } else {
+            println!(
+                "  FAIL wave commit scaling: E=4 not faster than serial on the disjoint block ({:.0} ns >= {:.0} ns, {cores} cores)",
+                waved, serial
+            );
+            failures += 1;
+        }
+    } else {
+        println!(
+            "  SKIP wave commit scaling: single-core runner ({cores} core) — nothing to parallelise"
+        );
     }
     // Template fast path: on all-safe (read-only YCSB-C) traffic the bypass must deliver a
     // real structural speedup — and commit the identical id order as the reference.

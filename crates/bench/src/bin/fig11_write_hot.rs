@@ -6,7 +6,9 @@
 //! ```
 
 use eov_baselines::api::SystemKind;
-use eov_bench::{banner, print_formation_table, print_throughput_table, run_all_systems};
+use eov_bench::{
+    banner, print_commit_table, print_formation_table, print_throughput_table, run_all_systems,
+};
 use eov_common::config::ExperimentGrid;
 use eov_sim::SimulationConfig;
 use eov_workload::generator::WorkloadKind;
@@ -37,6 +39,7 @@ fn main() {
         "measured reorder ms/block (this machine)",
     );
     print_formation_table("write hot ratio", &rows);
+    print_commit_table("write hot ratio", &rows);
 
     println!(
         "Paper's shape: Fabric# stays highest at every ratio; Focc-s collapses as the write hot\n\

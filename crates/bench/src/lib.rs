@@ -99,6 +99,33 @@ pub fn print_formation_table<T: std::fmt::Display>(x_label: &str, rows: &[(T, Ve
     println!();
 }
 
+/// Prints the measured per-block validate/commit wall-clock (p50 / p99 / total) for every
+/// system at every sweep point — the execution-stage companion of
+/// [`print_formation_table`], covering MVCC validation plus write installation (serial at
+/// `execution_threads = 0`, wave-parallel otherwise).
+pub fn print_commit_table<T: std::fmt::Display>(x_label: &str, rows: &[(T, Vec<SimReport>)]) {
+    println!(
+        "measured block validate/commit wall-clock (this machine): p50 µs / p99 µs / total ms"
+    );
+    print!("{x_label:<22}");
+    for system in SystemKind::all() {
+        print!("{:>22}", system.label());
+    }
+    println!();
+    for (x, reports) in rows {
+        print!("{:<22}", format!("{x}"));
+        for report in reports {
+            let c = &report.commit;
+            print!(
+                "{:>22}",
+                format!("{:.0}/{:.0}/{:.1}", c.p50_us, c.p99_us, c.total_ms)
+            );
+        }
+        println!();
+    }
+    println!();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

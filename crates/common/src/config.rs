@@ -83,6 +83,13 @@ pub struct CcConfig {
     /// setting produces bit-for-bit the same ledgers, orders and verdicts (asserted by
     /// `tests/template_fastpath_determinism.rs`).
     pub template_fastpath: bool,
+    /// Number of worker threads the parallel commit scheduler
+    /// (`fabricsharp_core::scheduler`) executes each commit wave on. `0` (the default) runs
+    /// the inline reference committer (serial validate-and-apply, no wave planning);
+    /// `E >= 1` plans conflict-free waves over the committed order and executes them on an
+    /// `E`-thread pool with per-wave barriers. Every `E` produces bit-for-bit the same
+    /// ledgers and store states (asserted by `tests/scheduler_determinism.rs`).
+    pub execution_threads: usize,
 }
 
 impl Default for CcConfig {
@@ -95,6 +102,7 @@ impl Default for CcConfig {
             store_shards: 0,
             formation_threads: 0,
             template_fastpath: false,
+            execution_threads: 0,
         }
     }
 }
@@ -120,6 +128,11 @@ impl CcConfig {
         if self.formation_threads > 256 {
             return Err(crate::error::CommonError::InvalidConfig(
                 "formation_threads must be at most 256".into(),
+            ));
+        }
+        if self.execution_threads > 256 {
+            return Err(crate::error::CommonError::InvalidConfig(
+                "execution_threads must be at most 256".into(),
             ));
         }
         Ok(())

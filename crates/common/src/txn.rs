@@ -78,6 +78,13 @@ pub struct Transaction {
     /// tracked path). Absent in serialized transactions from older ledgers.
     #[serde(default)]
     pub template_class: TemplateClass,
+    /// Index of the workload template this instance was generated from, in the workload's
+    /// static conflict-matrix row order (`eov_workload::conflict::ConflictMatrix`). `None`
+    /// (the default, and the value for transactions from older ledgers) means "template
+    /// unknown" and disables every matrix-driven widening for this transaction — the
+    /// conservative path.
+    #[serde(default)]
+    pub template_id: Option<u16>,
 }
 
 impl Transaction {
@@ -91,12 +98,19 @@ impl Transaction {
             endorsements: 1,
             end_ts: None,
             template_class: TemplateClass::Unknown,
+            template_id: None,
         }
     }
 
     /// Returns the transaction with its template classification set.
     pub fn with_template_class(mut self, class: TemplateClass) -> Self {
         self.template_class = class;
+        self
+    }
+
+    /// Returns the transaction with its conflict-matrix template index set.
+    pub fn with_template_id(mut self, template_id: Option<u16>) -> Self {
+        self.template_id = template_id;
         self
     }
 

@@ -16,6 +16,13 @@
 //!   endorser workers ([`pipeline::EndorserPool`]) and the strictly ordered
 //!   validator/committer ([`pipeline::CommitWorker`]), reused by the simulator's concurrent
 //!   runner and by the `ParallelChain` facade.
+//! * [`commit`] — the serial reference committer: MVCC validation and block application in
+//!   strict block order, defining the bit-exact store/ledger state every other commit path
+//!   must reproduce.
+//! * [`scheduler`] — the dependency-graph-driven parallel commit scheduler
+//!   ([`scheduler::CommitScheduler`]): Block-STM-style wave execution of the committed order
+//!   on a worker pool, widened by the static conflict matrix, bit-identical to [`commit`] at
+//!   every `CcConfig::execution_threads`.
 //! * [`theory`] — executable forms of the paper's definitions and the Figure 2a / Figure 3a
 //!   fixtures shared by tests, examples and the Table 1 harness.
 //! * [`serializability`] — an independent offline oracle (multi-version serialization graph)
@@ -25,20 +32,26 @@
 #![forbid(unsafe_code)]
 
 pub mod arrival;
+pub mod commit;
 pub mod dependency;
 pub mod endorser;
 pub mod formation;
 pub mod orderer_cc;
 pub mod pipeline;
 pub mod recovery;
+pub mod scheduler;
 pub mod serializability;
 pub mod stats;
 pub mod theory;
 
+pub use commit::{
+    apply_without_validation, commit_block, count_anti_rw_commits, mvcc_validate_and_apply,
+};
 pub use dependency::{resolve_dependencies, resolve_sharded, ResolvedDeps, ShardedResolution};
 pub use endorser::{SimulationContext, SnapshotEndorser, TxnEffects};
 pub use orderer_cc::FabricSharpCC;
 pub use pipeline::{CommitOutcome, CommitWorker, EndorseJob, EndorseLogic, EndorserPool};
 pub use recovery::{recover_from_ledger, RecoveryReport};
+pub use scheduler::{plan_waves, CommitScheduler, WavePlan, WaveStats, WideningTable};
 pub use serializability::{is_serializable, is_strongly_serializable, serialization_order};
 pub use stats::CcStats;

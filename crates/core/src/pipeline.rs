@@ -25,7 +25,7 @@
 use crate::endorser::{SimulationContext, SnapshotEndorser};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use eov_common::txn::{Transaction, TxnId, TxnStatus};
-use eov_vstore::{SharedStore, StoreBackend};
+use eov_vstore::SharedStore;
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 
@@ -189,10 +189,12 @@ pub struct CommitOutcome {
     pub anti_rw_commits: u64,
 }
 
-/// Validation/commit work for one block, run under the store's write lock. The backend may be
-/// the unsharded store or the key-space sharded one — commit logic is written against the
-/// `StateStore` surface either way.
-pub type CommitLogic = Box<dyn FnOnce(&mut StoreBackend) -> CommitOutcome + Send>;
+/// Validation/commit work for one block. The logic receives the *shared* store handle and
+/// manages its own locking: the serial reference takes the write lock for the whole block,
+/// while the parallel commit scheduler ([`crate::scheduler`]) interleaves read-locked probe
+/// phases with write-locked apply phases per wave — which is why the worker must not
+/// pre-acquire the lock on the logic's behalf.
+pub type CommitLogic = Box<dyn FnOnce(&SharedStore) -> CommitOutcome + Send>;
 
 /// The single validator/committer stage: applies block jobs strictly in submission order.
 pub struct CommitWorker {
@@ -210,10 +212,7 @@ impl CommitWorker {
             .name("eov-committer".into())
             .spawn(move || {
                 while let Ok((block_no, logic)) = job_rx.recv() {
-                    let outcome = {
-                        let mut guard = store.write();
-                        logic(&mut guard)
-                    };
+                    let outcome = logic(&store);
                     if result_tx.send((block_no, outcome)).is_err() {
                         break;
                     }
@@ -330,6 +329,7 @@ mod tests {
                 Box::new(move |store| {
                     // Each block rewrites k0 with its own number; order violations would leave
                     // a non-monotonic version chain (caught by the store's ordering invariant).
+                    let mut store = store.write();
                     store.put(
                         Key::new("k0"),
                         eov_common::version::SeqNo::new(block_no, 1),
@@ -394,6 +394,7 @@ mod tests {
             committer.begin(
                 block_no,
                 Box::new(move |store| {
+                    let mut store = store.write();
                     for i in 0..8 {
                         store.put(
                             Key::new(format!("k{i}")),

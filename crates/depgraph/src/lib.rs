@@ -47,7 +47,7 @@ pub use bloom::{BloomFilter, RelayBloom};
 pub use engine::GraphEngine;
 pub use graph::{CycleCheck, DependencyGraph, InsertReport, PendingTxnSpec, ReachSet, TxnNode};
 pub use interner::Interner;
-pub use parallel::{ShardJob, ShardOutcome, ShardPool};
+pub use parallel::{PoolJob, ShardJob, ShardOutcome, ShardPool, WorkPool};
 pub use prune::snapshot_threshold;
 pub use reference::NaiveGraph;
 pub use sharded::{ShardDeps, ShardedDependencyGraph};

@@ -8,6 +8,7 @@
 use eov_common::txn::Transaction;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Simulated time in microseconds since the start of the run.
 pub type SimTime = u64;
@@ -50,7 +51,9 @@ pub enum Event {
     /// A cut block has been delivered to the validating peer.
     BlockDelivered {
         /// The block's transactions in final commit order (with `end_ts` assigned by the CC).
-        txns: Vec<Transaction>,
+        /// Shared because the commit stage's scheduler workers hold the block concurrently
+        /// with the driver; the runner unwraps (or clones) it when building the ledger block.
+        txns: Arc<Vec<Transaction>>,
         /// Submission times of those transactions (for latency accounting), same order.
         submitted_at: Vec<SimTime>,
         /// When the orderer cut the block.
@@ -60,8 +63,8 @@ pub enum Event {
     BlockValidated {
         /// Ledger height this block commits at (assigned in delivery order).
         block_no: u64,
-        /// The block's transactions in final commit order.
-        txns: Vec<Transaction>,
+        /// The block's transactions in final commit order (shared with the commit stage).
+        txns: Arc<Vec<Transaction>>,
         /// Submission times of those transactions, same order.
         submitted_at: Vec<SimTime>,
     },

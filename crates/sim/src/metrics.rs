@@ -3,6 +3,7 @@
 use eov_baselines::api::SystemKind;
 use eov_common::abort::AbortReason;
 use eov_workload::conflict::ConflictMatrix;
+use fabricsharp_core::scheduler::WaveStats;
 use std::collections::HashMap;
 
 /// Wall-clock statistics of the per-block formation step (`cut_block`), measured — not
@@ -81,6 +82,14 @@ pub struct SimReport {
     pub committed_with_anti_rw: u64,
     /// Measured per-block formation wall-clock (p50/p99/total) on this machine.
     pub formation: FormationTiming,
+    /// Measured per-block validate/commit wall-clock (p50/p99/total) on this machine — the
+    /// execution-stage companion of `formation`, covering MVCC validation plus write
+    /// installation (serial at `execution_threads == 0`, wave-parallel otherwise).
+    pub commit: FormationTiming,
+    /// Wave statistics of the parallel commit scheduler: zeros at `execution_threads == 0`
+    /// (the inline reference plans no waves); identical for every `E >= 1` because the wave
+    /// decomposition is a pure function of the committed blocks.
+    pub wave: WaveStats,
     /// Offered transactions the static conflict analyzer classified instance-Safe (tagged
     /// before the orderer saw them; independent of whether the fast path was switched on).
     pub safe_tagged: u64,
@@ -113,6 +122,7 @@ impl SimReport {
 
     /// Total aborted transactions (early + validation).
     pub fn aborted(&self) -> u64 {
+        // lint-determinism: allow (sum is commutative; iteration order cannot change it)
         self.aborts.values().sum()
     }
 
@@ -130,6 +140,7 @@ impl SimReport {
     pub fn abort_breakdown(&self) -> Vec<(&'static str, f64)> {
         let total = self.aborted().max(1) as f64;
         let mut buckets: HashMap<&'static str, u64> = HashMap::new();
+        // lint-determinism: allow (commutative bucket accumulation; output sorted below)
         for (reason, count) in &self.aborts {
             *buckets.entry(reason.figure14_bucket()).or_insert(0) += count;
         }
@@ -192,6 +203,8 @@ mod tests {
             measured_arrival_us_per_txn: 0.0,
             committed_with_anti_rw: 0,
             formation: FormationTiming::default(),
+            commit: FormationTiming::default(),
+            wave: WaveStats::default(),
             safe_tagged: 250,
             fastpath_accepted: 0,
             conflict_matrix: ConflictMatrix::default(),

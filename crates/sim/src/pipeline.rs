@@ -18,14 +18,15 @@
 //! at fixed points of the deterministic event order, and commits are strictly serialized. The
 //! `pipeline_determinism` integration tests assert this block for block.
 
-use eov_baselines::api::commit_block;
 use eov_common::txn::Transaction;
 use eov_vstore::SharedStore;
 use fabricsharp_core::endorser::SnapshotEndorser;
 use fabricsharp_core::pipeline::{
     CommitOutcome, CommitWorker, EndorseJob, EndorseLogic, EndorserPool,
 };
+use fabricsharp_core::scheduler::{CommitScheduler, WaveStats};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// The endorsement stage: inline simulation or a sharded worker pool.
 pub(crate) enum EndorseStage {
@@ -93,36 +94,59 @@ impl EndorseStage {
     }
 }
 
-/// The validator/committer stage: inline or on the dedicated committer thread.
+/// The validator/committer stage: inline or on the dedicated committer thread. Both variants
+/// route every block through the [`CommitScheduler`] — with `execution_threads == 0` the
+/// scheduler runs the inline serial reference, otherwise it plans and executes conflict-free
+/// waves on its worker pool. Either way the outcome is bit-identical (the scheduler's
+/// determinism contract), so the `endorser_shards` and `execution_threads` knobs compose
+/// freely.
 pub(crate) enum CommitStage {
-    Inline { store: SharedStore },
-    Threaded(CommitWorker),
+    Inline {
+        store: SharedStore,
+        scheduler: CommitScheduler,
+    },
+    Threaded {
+        worker: CommitWorker,
+        /// Shared with the committer thread's block jobs; only ever locked by one job at a
+        /// time because the committer is a single-lane stage, plus the driver at drain time.
+        scheduler: Arc<Mutex<CommitScheduler>>,
+    },
 }
 
 impl CommitStage {
     /// Builds the stage; `threaded` follows the endorser-shard knob (a concurrent pipeline
     /// gets the committer thread, the reference mode stays inline).
-    pub fn new(threaded: bool, store: SharedStore) -> Self {
+    pub fn new(threaded: bool, store: SharedStore, scheduler: CommitScheduler) -> Self {
         if threaded {
-            CommitStage::Threaded(CommitWorker::spawn(store))
+            CommitStage::Threaded {
+                worker: CommitWorker::spawn(store),
+                scheduler: Arc::new(Mutex::new(scheduler)),
+            }
         } else {
-            CommitStage::Inline { store }
+            CommitStage::Inline { store, scheduler }
         }
     }
 
-    /// Starts validating/applying `block_no`. In threaded mode the committer works ahead under
-    /// the store's write lock while the driver keeps processing events; snapshot reads pinned
-    /// at logically-earlier heights are unaffected (MVCC stability).
-    pub fn begin(&mut self, block_no: u64, txns: &[Transaction], needs_validation: bool) {
+    /// Starts validating/applying `block_no`. In threaded mode the committer works ahead while
+    /// the driver keeps processing events (the scheduler interleaves read-locked wave probes
+    /// with write-locked applies); snapshot reads pinned at logically-earlier heights are
+    /// unaffected (MVCC stability).
+    pub fn begin(&mut self, block_no: u64, txns: &Arc<Vec<Transaction>>, needs_validation: bool) {
         match self {
             // Inline mode runs the work lazily in `finish` — the driver consumes it at the
             // BlockValidated event, which models the same validator service time either way.
             CommitStage::Inline { .. } => {}
-            CommitStage::Threaded(worker) => {
-                let txns = txns.to_vec();
+            CommitStage::Threaded { worker, scheduler } => {
+                let txns = Arc::clone(txns);
+                let scheduler = Arc::clone(scheduler);
                 worker.begin(
                     block_no,
-                    Box::new(move |store| commit_block(store, block_no, &txns, needs_validation)),
+                    Box::new(move |store| {
+                        scheduler
+                            .lock()
+                            .expect("commit scheduler poisoned")
+                            .commit_block(store, block_no, &txns, needs_validation)
+                    }),
                 );
             }
         }
@@ -133,15 +157,28 @@ impl CommitStage {
     pub fn finish(
         &mut self,
         block_no: u64,
-        txns: &[Transaction],
+        txns: &Arc<Vec<Transaction>>,
         needs_validation: bool,
     ) -> CommitOutcome {
         match self {
-            CommitStage::Inline { store } => {
-                let mut guard = store.write();
-                commit_block(&mut *guard, block_no, txns, needs_validation)
+            CommitStage::Inline { store, scheduler } => {
+                scheduler.commit_block(store, block_no, txns, needs_validation)
             }
-            CommitStage::Threaded(worker) => worker.finish(block_no),
+            CommitStage::Threaded { worker, .. } => worker.finish(block_no),
+        }
+    }
+
+    /// Drains the measured per-block commit wall-clock samples and snapshots the cumulative
+    /// wave statistics (called once, when the run's report is assembled).
+    pub fn commit_metrics(&mut self) -> (Vec<u64>, WaveStats) {
+        match self {
+            CommitStage::Inline { scheduler, .. } => {
+                (scheduler.take_commit_samples(), scheduler.stats())
+            }
+            CommitStage::Threaded { scheduler, .. } => {
+                let mut guard = scheduler.lock().expect("commit scheduler poisoned");
+                (guard.take_commit_samples(), guard.stats())
+            }
         }
     }
 }

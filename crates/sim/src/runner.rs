@@ -40,7 +40,9 @@ use eov_vstore::{
 };
 use eov_workload::generator::{WorkloadGenerator, WorkloadKind};
 use fabricsharp_core::endorser::SnapshotEndorser;
+use fabricsharp_core::scheduler::{CommitScheduler, WideningTable};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Everything one simulation run needs.
 #[derive(Clone, Debug)]
@@ -80,6 +82,13 @@ pub struct SimulationConfig {
     /// for the same seed — asserted block for block by
     /// `tests/parallel_formation_determinism.rs`.
     pub formation_threads: usize,
+    /// Number of worker threads the parallel commit scheduler executes delivered blocks on:
+    /// conflict-free waves of the committed order (widened by the workload's static conflict
+    /// matrix) validate and apply concurrently against the state store. `0` (the default)
+    /// commits every block through the inline serial reference. Every value produces
+    /// identical ledgers, stores and reports for the same seed — asserted over the full
+    /// S×W×E grid by `tests/scheduler_determinism.rs`.
+    pub execution_threads: usize,
 }
 
 impl SimulationConfig {
@@ -98,6 +107,7 @@ impl SimulationConfig {
             endorser_shards: 0,
             store_shards: 0,
             formation_threads: 0,
+            execution_threads: 0,
         }
     }
 
@@ -141,6 +151,22 @@ impl SimulationConfig {
             ..Self::new(system, workload)
         }
     }
+
+    /// Same as [`SimulationConfig::sharded_store`] but committing delivered blocks through
+    /// the parallel wave scheduler with `execution_threads` workers (`0` = inline serial
+    /// reference).
+    pub fn parallel_commit(
+        system: SystemKind,
+        workload: WorkloadKind,
+        store_shards: usize,
+        execution_threads: usize,
+    ) -> Self {
+        SimulationConfig {
+            store_shards,
+            execution_threads,
+            ..Self::new(system, workload)
+        }
+    }
 }
 
 /// The simulator. Stateless — all state lives inside a single `run` call.
@@ -157,6 +183,14 @@ impl Simulator {
     /// produced — the artefact the determinism harness compares block for block across stage
     /// backends.
     pub fn run_with_ledger(config: &SimulationConfig) -> (SimReport, Ledger) {
+        let (report, ledger, _) = Self::run_full(config);
+        (report, ledger)
+    }
+
+    /// Runs one configuration to completion, returning the metrics, the ledger *and* the
+    /// final state-store backend — the store is what the scheduler determinism harness
+    /// compares byte for byte (via `Debug` formatting) across execution-thread counts.
+    pub fn run_full(config: &SimulationConfig) -> (SimReport, Ledger, StoreBackend) {
         let profile = PipelineProfile::for_system(config.profile, config.system);
         let mut generator =
             WorkloadGenerator::new(config.workload.clone(), config.params, config.seed);
@@ -177,6 +211,7 @@ impl Simulator {
         let cc_config = CcConfig {
             store_shards: config.store_shards,
             formation_threads: config.formation_threads,
+            execution_threads: config.execution_threads,
             ..config.cc
         };
         let mut cc: Box<dyn ConcurrencyControl> = config.system.build(cc_config);
@@ -187,14 +222,21 @@ impl Simulator {
         // is on or off — and stamped on the transaction before it reaches the CC, so the
         // knob alone decides whether the fast path activates.
         let analyzer = generator.analyzer();
-        let mut class_by_request: HashMap<u64, TemplateClass> = HashMap::new();
+        let mut class_by_request: HashMap<u64, (TemplateClass, Option<u16>)> = HashMap::new();
         let mut safe_tagged: u64 = 0;
 
-        // Stage backends (inline for endorser_shards == 0, threaded otherwise).
+        // Stage backends (inline for endorser_shards == 0, threaded otherwise). The commit
+        // scheduler gets the workload's static widening table: statically conflict-free
+        // template pairs share execution waves without key checks.
+        let widening = WideningTable::from_conflicts(&analyzer.matrix().conflicts);
+        let scheduler = CommitScheduler::with_widening(config.execution_threads, widening);
         let mut endorse_stage =
             EndorseStage::new(config.endorser_shards, SharedStore::clone(&store), endorser);
-        let mut commit_stage =
-            CommitStage::new(config.endorser_shards > 0, SharedStore::clone(&store));
+        let mut commit_stage = CommitStage::new(
+            config.endorser_shards > 0,
+            SharedStore::clone(&store),
+            scheduler,
+        );
 
         // Event loop state.
         let mut queue = EventQueue::new();
@@ -251,7 +293,8 @@ impl Simulator {
                     if class.is_safe() {
                         safe_tagged += 1;
                     }
-                    class_by_request.insert(request_no, class);
+                    class_by_request
+                        .insert(request_no, (class, analyzer.template_index(&template)));
                     let endorse_ms = profile.endorse_base_ms
                         + config.params.read_interval_ms as f64 * template.read_count() as f64;
                     let done_at = now + ms(endorse_ms);
@@ -283,9 +326,11 @@ impl Simulator {
                     submitted_at,
                 } => {
                     let mut txn = endorse_stage.collect(request_no);
-                    txn.template_class = class_by_request
+                    let (class, template_id) = class_by_request
                         .remove(&request_no)
-                        .unwrap_or(TemplateClass::Unknown);
+                        .unwrap_or((TemplateClass::Unknown, None));
+                    txn.template_class = class;
+                    txn.template_id = template_id;
                     // Under the vanilla-Fabric lock the simulation effectively ran against the
                     // latest block at completion time; re-simulate if the chain advanced.
                     if profile.endorsement_lock && txn.snapshot_block < last_committed {
@@ -397,6 +442,10 @@ impl Simulator {
                         committed_with_anti_rw += outcome.anti_rw_commits;
                     }
 
+                    // The commit stage has finished with the block, so the driver usually
+                    // holds the last Arc reference and unwraps for free; a straggling clone
+                    // (scheduler worker mid-drop) falls back to a copy.
+                    let txns = Arc::try_unwrap(txns).unwrap_or_else(|shared| (*shared).clone());
                     let mut block = Block::build(block_no, ledger.tip_hash(), txns);
                     let mut block_outcome: Vec<(Transaction, TxnStatus)> =
                         Vec::with_capacity(block.entries.len());
@@ -439,6 +488,7 @@ impl Simulator {
         for (reason, count) in cc.early_aborts() {
             *aborts.entry(reason).or_insert(0) += count;
         }
+        let (mut commit_us, wave) = commit_stage.commit_metrics();
         let duration_s = (last_event_at as f64 / 1_000_000.0).max(config.duration_s);
         let committed_f = committed.max(1) as f64;
         let report = SimReport {
@@ -458,11 +508,20 @@ impl Simulator {
                 / offered.max(1) as f64,
             committed_with_anti_rw,
             formation: FormationTiming::from_samples(&mut formation_us),
+            commit: FormationTiming::from_samples(&mut commit_us),
+            wave,
             safe_tagged,
             fastpath_accepted: cc.fastpath_accepted(),
             conflict_matrix: analyzer.matrix().clone(),
         };
-        (report, ledger)
+        // Tear down the pipeline stages (joining their worker threads) so the driver holds
+        // the only remaining reference to the store and can hand the backend out by value.
+        drop(endorse_stage);
+        drop(commit_stage);
+        let backend = Arc::try_unwrap(store)
+            .map(|lock| lock.into_inner())
+            .unwrap_or_else(|shared| shared.read().clone());
+        (report, ledger, backend)
     }
 
     /// Runs the same configuration for every system and returns the reports in
@@ -536,7 +595,7 @@ impl Simulator {
         queue.schedule(
             now + ms(delay),
             Event::BlockDelivered {
-                txns,
+                txns: Arc::new(txns),
                 submitted_at,
                 formed_at: now,
             },

@@ -59,6 +59,13 @@ impl ShardedStore {
         &self.shards[shard]
     }
 
+    /// Exclusive access to one shard. The parallel commit scheduler uses this to move shard
+    /// stores out (`mem::take`) and hand them to apply workers while the backend's write lock
+    /// is held — invisible to readers because no read can start until the lock drops.
+    pub fn shard_mut(&mut self, shard: usize) -> &mut MultiVersionStore {
+        &mut self.shards[shard]
+    }
+
     fn owner(&self, key: &Key) -> &MultiVersionStore {
         &self.shards[self.router.shard_of(key)]
     }

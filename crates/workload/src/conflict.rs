@@ -379,6 +379,18 @@ impl ConflictAnalyzer {
             .unwrap_or(TemplateClass::Unknown)
     }
 
+    /// The conflict-matrix row index of a generated template, or `None` for templates outside
+    /// the mix (which also disables every matrix-driven widening downstream — the parallel
+    /// commit scheduler requires *every* transaction of a block to carry a known index before
+    /// it trusts a statically-clear row). Stamped onto `Transaction::template_id`.
+    pub fn template_index(&self, template: &TxnTemplate) -> Option<u16> {
+        let name = templates::template_spec_name(template);
+        self.mix
+            .iter()
+            .position(|fp| fp.name == name)
+            .and_then(|i| u16::try_from(i).ok())
+    }
+
     /// **Instance**-level class of a concrete arrival: template-Safe instances stay Safe, and
     /// a write-free instance is additionally Safe when every key it reads provably misses
     /// every write expression in the mix (module-level rule 2). Conservative otherwise.

@@ -1,8 +1,9 @@
 //! Repo tooling. Subcommands:
 //!
-//! * `lint-determinism` — static lint over the ledger-order-affecting modules
-//!   (`crates/depgraph/src`, `crates/core/src`: the dependency graph, the orderer's
-//!   arrival/formation paths and the shard coordinator). Fails on iteration over
+//! * `lint-determinism` — static lint over the ledger-order-affecting modules (see
+//!   [`SCAN_ROOTS`]: the dependency graph, the orderer's arrival/formation paths, the shard
+//!   coordinator, the wave-commit scheduler and the simulator's event loop / pipeline
+//!   stages). Fails on iteration over
 //!   `HashMap`/`HashSet` bindings (`.iter()`, `.keys()`, `.values()`, `.drain()`,
 //!   `for … in &map`, …) outside an explicit allowlist. Hash iteration order is seeded per
 //!   process, so any such loop whose effects reach the commit order reintroduces exactly the
@@ -25,8 +26,9 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Directories whose modules can affect the ledger's commit order.
-const SCAN_ROOTS: &[&str] = &["crates/depgraph/src", "crates/core/src"];
+/// Directories whose modules can affect the ledger's commit order. Adding a crate here is
+/// the whole change: the scan, the report and the doc comment above all key off this list.
+const SCAN_ROOTS: &[&str] = &["crates/depgraph/src", "crates/core/src", "crates/sim/src"];
 
 /// The allowlist marker: `lint-determinism: allow (reason)` on the flagged line or the line
 /// directly above it.
