@@ -102,6 +102,21 @@ impl SimpleChain {
         )
     }
 
+    /// Creates a chain with pipelined block formation toggled (`store_shards` selects the
+    /// engine as in [`SimpleChain::with_store_shards`]). The synchronous facade has no work
+    /// to overlap with formation, so `seal_block` seals and immediately joins the formation
+    /// worker; ledger outcomes stay bit-identical to the knob-off reference.
+    pub fn with_pipelined_formation(kind: SystemKind, store_shards: usize, enabled: bool) -> Self {
+        Self::with_cc_config(
+            kind,
+            CcConfig {
+                store_shards,
+                pipelined_formation: enabled,
+                ..CcConfig::default()
+            },
+        )
+    }
+
     /// Creates a chain committing sealed blocks through the parallel wave scheduler with
     /// `execution_threads` workers (`0` = the classic inline commit; `store_shards` selects
     /// the backend as in [`SimpleChain::with_store_shards`]). Ledger and store outcomes are

@@ -29,6 +29,12 @@
 //!   static safe-tag count, ±0), and
 //! * the inline, sharded and parallel-formation paths must commit the **identical** id order
 //!   on the ww-heavy and cross-shard inputs (the determinism hard check),
+//! * the pipelined formation driver must commit the **identical** per-block id order as the
+//!   phased reference on the generation-chunked overlap input, and a fixed-seed end-to-end
+//!   simulation must produce the identical ledger tip hash with the knob on and off; — **only
+//!   when the runner has ≥ 2 cores** — the pipelined chunked run must not be slower than the
+//!   phased one (on a single-core runner the check is reported as SKIP: the overlap has no
+//!   second core to land on),
 //! * the commit scheduler's wave decomposition must be reproducible and have the statically
 //!   known shape (one maximal wave on the disjoint block, ~40-wide waves on the hot block),
 //!   the `E = 4` wave commit must leave the store byte-identical to the `E = 0` serial
@@ -42,11 +48,13 @@
 //! and `FABRICSHARP_GATE_TOLERANCE` widens the band if a runner generation proves noisier
 //! than ±20%.
 
+use eov_baselines::api::SystemKind;
 use eov_common::config::{CcConfig, WorkloadParams};
 use eov_common::rwset::{Key, Value};
 use eov_common::txn::{Transaction, TxnId};
 use eov_common::version::SeqNo;
 use eov_depgraph::{DependencyGraph, NaiveGraph, PendingTxnSpec};
+use eov_sim::{SimulationConfig, Simulator};
 use eov_vstore::{
     into_shared_backend, MultiVersionStore, SnapshotManager, StateStore, StoreBackend,
 };
@@ -205,6 +213,75 @@ fn arrival_and_cut_ids_cfg(txns: &[Transaction], config: CcConfig) -> Vec<u64> {
     cc.cut_block().iter().map(|t| t.id.0).collect()
 }
 
+/// Generations per chunked pipeline input.
+const PIPE_CHUNKS: usize = 4;
+/// Transactions per generation.
+const PIPE_CHUNK_TXNS: usize = 400;
+
+/// `PIPE_CHUNKS` generations of `PIPE_CHUNK_TXNS` transactions with disjoint per-generation
+/// key ranges: blind ww writes over 25 hot keys per generation keep the formation step (ww
+/// restoration) expensive, while the disjoint footprints keep every next-generation arrival
+/// eagerly admissible during the formation window — the input the overlap is designed for.
+fn pipeline_chunk_txns() -> Vec<Vec<Transaction>> {
+    (0..PIPE_CHUNKS)
+        .map(|c| {
+            (0..PIPE_CHUNK_TXNS)
+                .map(|j| {
+                    let id = (c * PIPE_CHUNK_TXNS + j + 1) as u64;
+                    Transaction::from_parts(
+                        id,
+                        0,
+                        [(Key::new(format!("p{c}:r{}", j % 50)), SeqNo::new(0, 1))],
+                        [(
+                            Key::new(format!("p{c}:h{}", j % 25)),
+                            Value::from_i64(j as i64),
+                        )],
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Phased reference over the generation-chunked input: each generation's arrivals then its
+/// cut, strictly in sequence. Returns the per-block committed id orders.
+fn chunked_phased_ids(chunks: &[Vec<Transaction>]) -> Vec<Vec<u64>> {
+    let mut cc = FabricSharpCC::new(CcConfig::default());
+    let mut blocks = Vec::with_capacity(chunks.len());
+    for chunk in chunks {
+        for txn in chunk {
+            let _ = cc.on_arrival(txn.clone());
+        }
+        blocks.push(cc.cut_block().iter().map(|t| t.id.0).collect());
+    }
+    blocks
+}
+
+/// The pipelined driver over the same input: each generation's arrivals stream in while the
+/// previous generation's block is forming on the worker thread (at most one block in
+/// formation — the driver joins before sealing the next, exactly the sim's back-pressure).
+fn chunked_pipelined_ids(chunks: &[Vec<Transaction>]) -> Vec<Vec<u64>> {
+    let mut cc = FabricSharpCC::new(CcConfig {
+        pipelined_formation: true,
+        ..CcConfig::default()
+    });
+    let mut blocks = Vec::with_capacity(chunks.len());
+    let mut inflight = false;
+    for chunk in chunks {
+        for txn in chunk {
+            let _ = cc.on_arrival(txn.clone());
+        }
+        if inflight {
+            blocks.push(cc.finish_cut().txns.iter().map(|t| t.id.0).collect());
+        }
+        inflight = cc.begin_cut() > 0;
+    }
+    if inflight {
+        blocks.push(cc.finish_cut().txns.iter().map(|t| t.id.0).collect());
+    }
+    blocks
+}
+
 /// Shared inputs for the gated benchmarks, built once so individual benchmarks can be
 /// re-measured (the band comparison retries a failing benchmark to filter transient
 /// machine-load spikes).
@@ -225,6 +302,9 @@ struct BenchContext {
     /// tags the ~75% rescued arrivals `Safe`.
     ycsb_b200: Vec<Transaction>,
     ww_heavy: Vec<Transaction>,
+    /// Generation-chunked, footprint-disjoint input for the pipelined-formation overlap
+    /// benches (see [`pipeline_chunk_txns`]).
+    pipeline_chunks: Vec<Vec<Transaction>>,
     /// 2048 conflict-free read-modify-write transactions (one maximal wave): the
     /// embarrassingly parallel upper bound for the wave-commit scheduler.
     commit_disjoint: Arc<Vec<Transaction>>,
@@ -287,6 +367,7 @@ impl BenchContext {
                 200,
             ),
             ww_heavy: ww_heavy_txns(),
+            pipeline_chunks: pipeline_chunk_txns(),
             commit_disjoint: Arc::new(commit_disjoint_txns()),
             commit_disjoint_seed: {
                 let mut backend = StoreBackend::for_shards(4);
@@ -324,6 +405,8 @@ impl BenchContext {
             "formation_ww_restore_400_s4_w2",
             "mark_committed_all_1600",
             "remove_half_1600",
+            "sharp_pipeline_chunks1600_phased",
+            "sharp_pipeline_chunks1600_pipelined",
             "sharp_smallbank200_sharded_s2",
             "sharp_smallbank200_unsharded",
             "sharp_ycsb_b_fastpath_off_200",
@@ -403,6 +486,18 @@ impl BenchContext {
             "formation_ww_restore_400" => median_ns(|| arrival_and_cut(&self.ww_heavy, 0, 0)),
             "formation_ww_restore_400_s4" => median_ns(|| arrival_and_cut(&self.ww_heavy, 4, 0)),
             "formation_ww_restore_400_s4_w2" => median_ns(|| arrival_and_cut(&self.ww_heavy, 4, 2)),
+            "sharp_pipeline_chunks1600_phased" => median_ns(|| {
+                chunked_phased_ids(&self.pipeline_chunks)
+                    .iter()
+                    .map(|b| b.len() as u64)
+                    .sum()
+            }),
+            "sharp_pipeline_chunks1600_pipelined" => median_ns(|| {
+                chunked_pipelined_ids(&self.pipeline_chunks)
+                    .iter()
+                    .map(|b| b.len() as u64)
+                    .sum()
+            }),
             "sharp_smallbank200_unsharded" => {
                 median_ns(|| arrival_and_cut(&self.smallbank200, 0, 0))
             }
@@ -633,6 +728,83 @@ fn main() {
     } else {
         println!(
             "  SKIP wave commit scaling: single-core runner ({cores} core) — nothing to parallelise"
+        );
+    }
+    // Pipelined formation, structural identity checks — machine-independent, always enforced.
+    // (1) The pipelined driver must commit the identical per-block id order as the phased
+    // reference on the generation-chunked overlap input (arrivals streaming into open
+    // formation windows).
+    {
+        let phased = chunked_phased_ids(&ctx.pipeline_chunks);
+        let pipelined = chunked_pipelined_ids(&ctx.pipeline_chunks);
+        if phased == pipelined {
+            println!(
+                "  OK   pipeline_chunks1600: phased/pipelined per-block commit orders identical ({} blocks)",
+                phased.len()
+            );
+        } else {
+            println!(
+                "  FAIL pipeline_chunks1600: commit orders diverged between phased and pipelined formation"
+            );
+            failures += 1;
+        }
+    }
+    // (2) Fixed-seed end-to-end ledger identity: the same simulation with the knob on and off
+    // must produce the identical ledger tip hash.
+    {
+        let mut cfg = SimulationConfig::new(
+            SystemKind::FabricSharp,
+            WorkloadKind::Ycsb(YcsbProfile::b().with_write_partition(0.2)),
+        );
+        cfg.duration_s = 1.0;
+        cfg.params.num_accounts = 300;
+        cfg.params.request_rate_tps = 300;
+        cfg.block.max_txns_per_block = 30;
+        cfg.seed = 11;
+        let (phased_report, phased_ledger) = Simulator::run_with_ledger(&cfg);
+        cfg.pipelined_formation = true;
+        let (pipelined_report, pipelined_ledger) = Simulator::run_with_ledger(&cfg);
+        if phased_ledger.tip_hash() == pipelined_ledger.tip_hash()
+            && phased_report.blocks == pipelined_report.blocks
+            && phased_report.blocks > 0
+        {
+            println!(
+                "  OK   pipelined formation: fixed-seed end-to-end ledger identical to phased ({} blocks)",
+                phased_report.blocks
+            );
+        } else {
+            println!(
+                "  FAIL pipelined formation: fixed-seed end-to-end ledger diverged from phased"
+            );
+            failures += 1;
+        }
+    }
+    // (3) The overlap claim itself — only meaningful when there is a second core for the
+    // formation worker to run on.
+    if cores >= 2 {
+        let phased = results["sharp_pipeline_chunks1600_phased"];
+        let mut pipelined = results["sharp_pipeline_chunks1600_pipelined"];
+        if pipelined >= phased {
+            // One retry to filter a transient load spike, as for the band comparisons.
+            pipelined = ctx
+                .measure("sharp_pipeline_chunks1600_pipelined")
+                .min(pipelined);
+        }
+        if pipelined < phased {
+            println!(
+                "  OK   pipelined formation throughput: {:.2}x over phased on the chunked input ({cores} cores)",
+                phased / pipelined
+            );
+        } else {
+            println!(
+                "  FAIL pipelined formation throughput: not faster than phased on the chunked input ({:.0} ns >= {:.0} ns, {cores} cores)",
+                pipelined, phased
+            );
+            failures += 1;
+        }
+    } else {
+        println!(
+            "  SKIP pipelined formation throughput: single-core runner ({cores} core) — the overlap has no second core to land on"
         );
     }
     // Template fast path: on all-safe (read-only YCSB-C) traffic the bypass must deliver a

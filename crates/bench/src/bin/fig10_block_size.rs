@@ -7,7 +7,8 @@
 
 use eov_baselines::api::SystemKind;
 use eov_bench::{
-    banner, print_commit_table, print_formation_table, print_throughput_table, run_all_systems,
+    banner, print_commit_table, print_formation_table, print_occupancy_table,
+    print_throughput_table, run_all_systems,
 };
 use eov_common::config::ExperimentGrid;
 use eov_sim::SimulationConfig;
@@ -40,6 +41,7 @@ fn main() {
     );
     print_formation_table("# txns per block", &rows);
     print_commit_table("# txns per block", &rows);
+    print_occupancy_table("# txns per block", &rows);
 
     println!(
         "Paper's shape: Fabric# peaks at 100-txn blocks (542 tps) and stays highest everywhere;\n\

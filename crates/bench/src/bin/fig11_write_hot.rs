@@ -7,7 +7,8 @@
 
 use eov_baselines::api::SystemKind;
 use eov_bench::{
-    banner, print_commit_table, print_formation_table, print_throughput_table, run_all_systems,
+    banner, print_commit_table, print_formation_table, print_occupancy_table,
+    print_throughput_table, run_all_systems,
 };
 use eov_common::config::ExperimentGrid;
 use eov_sim::SimulationConfig;
@@ -40,6 +41,7 @@ fn main() {
     );
     print_formation_table("write hot ratio", &rows);
     print_commit_table("write hot ratio", &rows);
+    print_occupancy_table("write hot ratio", &rows);
 
     println!(
         "Paper's shape: Fabric# stays highest at every ratio; Focc-s collapses as the write hot\n\

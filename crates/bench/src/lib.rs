@@ -126,6 +126,38 @@ pub fn print_commit_table<T: std::fmt::Display>(x_label: &str, rows: &[(T, Vec<S
     println!();
 }
 
+/// Prints the per-stage pipeline occupancy for every system at every sweep point: how many
+/// simulated milliseconds the formation stage and the validate/commit stage were busy, and
+/// what fraction of the formation time overlapped commit work. Under the phased driver the
+/// overlap is what the event cadence alone produces; with `pipelined_formation` on, the
+/// formation stage runs concurrently with arrivals and the overlap (plus the forced-join
+/// count) shows how well the three-stage pipeline is balanced.
+pub fn print_occupancy_table<T: std::fmt::Display>(x_label: &str, rows: &[(T, Vec<SimReport>)]) {
+    println!("pipeline occupancy (simulated time): formation-busy ms / commit-busy ms / overlap %");
+    print!("{x_label:<22}");
+    for system in SystemKind::all() {
+        print!("{:>22}", system.label());
+    }
+    println!();
+    for (x, reports) in rows {
+        print!("{:<22}", format!("{x}"));
+        for report in reports {
+            let o = &report.occupancy;
+            print!(
+                "{:>22}",
+                format!(
+                    "{:.0}/{:.0}/{:.0}%",
+                    o.formation_busy_ms,
+                    o.commit_busy_ms,
+                    o.overlap_fraction() * 100.0
+                )
+            );
+        }
+        println!();
+    }
+    println!();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

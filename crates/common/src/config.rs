@@ -90,6 +90,16 @@ pub struct CcConfig {
     /// `E`-thread pool with per-wave barriers. Every `E` produces bit-for-bit the same
     /// ledgers and store states (asserted by `tests/scheduler_determinism.rs`).
     pub execution_threads: usize,
+    /// When `true`, block formation (topo sort + ww restore + prune, Algorithms 3 and 5) runs
+    /// on a dedicated formation worker thread while arrivals for the *next* block continue to
+    /// stream in: the pending set is sealed at the cut, handed to the worker, and arrivals
+    /// that can be proved independent of the sealed snapshot proceed eagerly (their graph
+    /// inserts are queued and replayed in arrival order when the cut lands); anything else
+    /// stalls until the cut completes. `false` (the default) runs the phased reference where
+    /// the cut finishes before the next arrival is processed. Either setting produces
+    /// bit-for-bit the same ledgers, stores and decisions (asserted by
+    /// `tests/pipelined_formation_determinism.rs`).
+    pub pipelined_formation: bool,
 }
 
 impl Default for CcConfig {
@@ -103,6 +113,7 @@ impl Default for CcConfig {
             formation_threads: 0,
             template_fastpath: false,
             execution_threads: 0,
+            pipelined_formation: false,
         }
     }
 }

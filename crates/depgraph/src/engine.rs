@@ -137,6 +137,20 @@ impl GraphEngine {
         self.contains(id) || self.is_untracked(id)
     }
 
+    /// Membership snapshot of every id the engine currently knows (tracked graph nodes plus
+    /// the untracked-commit log). Pipelined formation seals this set at the cut so the driver
+    /// can keep answering [`GraphEngine::knows`]-style idempotence questions while the graph
+    /// itself is away on the formation worker.
+    pub fn known_ids(&self) -> std::collections::HashSet<TxnId> {
+        let mut known: std::collections::HashSet<TxnId> = match &self.kind {
+            EngineKind::Global(g) => g.tracked_ids().collect(),
+            EngineKind::Sharded(g) => g.tracked_ids().collect(),
+        };
+        // lint-determinism: allow (membership set; no consumer sequences on iteration order)
+        known.extend(self.untracked.keys().copied());
+        known
+    }
+
     /// Number of not-yet-pruned untracked commits (tests and stats).
     pub fn untracked_len(&self) -> usize {
         self.untracked.len()

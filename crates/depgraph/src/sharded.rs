@@ -237,6 +237,12 @@ impl ShardedDependencyGraph {
         self.pending.iter().collect()
     }
 
+    /// Every tracked transaction id (pending and committed-but-unpruned), in arbitrary order.
+    /// Membership snapshots only — consumers must not sequence on the order.
+    pub fn tracked_ids(&self) -> impl Iterator<Item = TxnId> + '_ {
+        self.gid.live_ids()
+    }
+
     /// The home shards of a tracked transaction (ascending).
     fn homes(&self, id: TxnId) -> Option<&[usize]> {
         let slot = self.gid.get(id)?;

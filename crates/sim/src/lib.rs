@@ -21,6 +21,6 @@ mod pipeline;
 pub mod profiles;
 pub mod runner;
 
-pub use metrics::{FormationTiming, SimReport};
+pub use metrics::{FormationTiming, PipelineOccupancy, SimReport};
 pub use profiles::PipelineProfile;
 pub use runner::{SimulationConfig, Simulator};

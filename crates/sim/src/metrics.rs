@@ -47,6 +47,98 @@ fn percentile(sorted: &[u64], q: f64) -> f64 {
     sorted[rank - 1] as f64
 }
 
+/// Per-stage occupancy of the orderer→validator pipeline over one run, in *simulated* time:
+/// how long the formation stage and the validate/commit stage were busy, and for how long the
+/// two overlapped. In phased mode the overlap only comes from blocks still validating when
+/// the next cut fires; with `pipelined_formation` the formation windows of block `N+1` open
+/// while block `N` is still in the validator, so the overlap (and the formation stage's
+/// occupancy) is what the tentpole buys. The stall half (`arrival_stall_ms`, `forced_joins`)
+/// is *wall-clock* back-pressure measured on the driver: time arrivals spent waiting for the
+/// formation worker instead of queueing unboundedly.
+///
+/// Occupancy is diagnostic output only — it is deliberately excluded from the determinism
+/// comparisons (stall wall-clock depends on the machine, never on the schedule).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PipelineOccupancy {
+    /// Simulated ms the formation stage (seal → delivery-ready) was busy.
+    pub formation_busy_ms: f64,
+    /// Simulated ms the validator/commit stage was busy.
+    pub commit_busy_ms: f64,
+    /// Simulated ms both stages were busy at once.
+    pub overlap_ms: f64,
+    /// Wall-clock ms the driver stalled on forced formation joins (back-pressure).
+    pub arrival_stall_ms: f64,
+    /// Number of forced joins: window events that could not proceed eagerly.
+    pub forced_joins: u64,
+}
+
+impl PipelineOccupancy {
+    /// Builds the occupancy summary from per-stage `(start, end)` busy windows in simulated
+    /// microseconds (any order, overlaps allowed — both lists are union-merged first) plus
+    /// the CC's `(forced_joins, wall-clock wait)` stall counters.
+    pub fn from_windows(
+        formation: &[(u64, u64)],
+        commit: &[(u64, u64)],
+        stalls: (u64, std::time::Duration),
+    ) -> Self {
+        let formation = merge_windows(formation);
+        let commit = merge_windows(commit);
+        PipelineOccupancy {
+            formation_busy_ms: total_us(&formation) as f64 / 1_000.0,
+            commit_busy_ms: total_us(&commit) as f64 / 1_000.0,
+            overlap_ms: overlap_us(&formation, &commit) as f64 / 1_000.0,
+            arrival_stall_ms: stalls.1.as_secs_f64() * 1_000.0,
+            forced_joins: stalls.0,
+        }
+    }
+
+    /// Fraction of the formation stage's busy time spent overlapping the commit stage, in
+    /// `[0, 1]` — the pipelining win at a glance.
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.formation_busy_ms <= 0.0 {
+            0.0
+        } else {
+            self.overlap_ms / self.formation_busy_ms
+        }
+    }
+}
+
+/// Sorts and unions possibly-overlapping `(start, end)` windows.
+fn merge_windows(windows: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut sorted: Vec<(u64, u64)> = windows.iter().copied().filter(|(s, e)| e > s).collect();
+    sorted.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(sorted.len());
+    for (start, end) in sorted {
+        match merged.last_mut() {
+            Some((_, last_end)) if start <= *last_end => *last_end = (*last_end).max(end),
+            _ => merged.push((start, end)),
+        }
+    }
+    merged
+}
+
+fn total_us(merged: &[(u64, u64)]) -> u64 {
+    merged.iter().map(|(s, e)| e - s).sum()
+}
+
+/// Total overlap of two disjoint, ascending window lists (two-pointer sweep).
+fn overlap_us(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut total) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
 /// The result of one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimReport {
@@ -99,6 +191,9 @@ pub struct SimReport {
     /// The static template×template conflict matrix of the workload's mix, for downstream
     /// consumers (the `conflict_matrix` bench bin; later the Block-STM-style scheduler).
     pub conflict_matrix: ConflictMatrix,
+    /// Per-stage busy/overlap/stall accounting of the formation and commit stages. Excluded
+    /// from determinism comparisons (the stall half is wall-clock).
+    pub occupancy: PipelineOccupancy,
 }
 
 impl SimReport {
@@ -208,6 +303,7 @@ mod tests {
             safe_tagged: 250,
             fastpath_accepted: 0,
             conflict_matrix: ConflictMatrix::default(),
+            occupancy: PipelineOccupancy::default(),
         }
     }
 
@@ -258,6 +354,29 @@ mod tests {
         assert_eq!(timing.blocks, 1);
         assert_eq!(timing.p50_us, 7.0);
         assert_eq!(timing.p99_us, 7.0);
+    }
+
+    #[test]
+    fn occupancy_merges_and_overlaps_windows() {
+        // Formation busy [0,10]ms ∪ [5,20]ms → merged [0,20]ms; commit busy [15,30] ∪ [40,50].
+        let occ = PipelineOccupancy::from_windows(
+            &[(0, 10_000), (5_000, 20_000)],
+            &[(15_000, 30_000), (40_000, 50_000)],
+            (3, std::time::Duration::from_millis(2)),
+        );
+        assert!((occ.formation_busy_ms - 20.0).abs() < 1e-9);
+        assert!((occ.commit_busy_ms - 25.0).abs() < 1e-9);
+        assert!((occ.overlap_ms - 5.0).abs() < 1e-9);
+        assert_eq!(occ.forced_joins, 3);
+        assert!((occ.arrival_stall_ms - 2.0).abs() < 1e-9);
+        assert!((occ.overlap_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_handles_empty_windows() {
+        let occ = PipelineOccupancy::from_windows(&[], &[(1, 1)], (0, std::time::Duration::ZERO));
+        assert_eq!(occ, PipelineOccupancy::default());
+        assert_eq!(occ.overlap_fraction(), 0.0);
     }
 
     #[test]

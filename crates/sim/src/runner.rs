@@ -25,7 +25,7 @@
 //! `pipeline_determinism` integration tests.
 
 use crate::events::{ms, Event, EventQueue, SimTime};
-use crate::metrics::{FormationTiming, SimReport};
+use crate::metrics::{FormationTiming, PipelineOccupancy, SimReport};
 use crate::pipeline::{CommitStage, EndorseStage};
 use crate::profiles::PipelineProfile;
 use eov_baselines::api::{ConcurrencyControl, SystemKind};
@@ -89,6 +89,16 @@ pub struct SimulationConfig {
     /// identical ledgers, stores and reports for the same seed — asserted over the full
     /// S×W×E grid by `tests/scheduler_determinism.rs`.
     pub execution_threads: usize,
+    /// Run block formation as a pipeline stage overlapping arrival processing (FabricSharp
+    /// only; the knob is inert for systems without seal/join support). When the cut trigger
+    /// fires, the pending set is sealed onto the CC's formation worker and the driver keeps
+    /// processing arrivals; the formed block is claimed when its modelled reordering delay
+    /// elapses. Back-pressure keeps at most one block in formation: a second trigger joins
+    /// the in-flight cut before sealing (the driver stalls rather than queueing
+    /// unboundedly). `false` (the default) cuts blocks inline — the phased reference. Both
+    /// settings produce bit-identical ledgers, stores and reports for the same seed —
+    /// asserted over the full grid by `tests/pipelined_formation_determinism.rs`.
+    pub pipelined_formation: bool,
 }
 
 impl SimulationConfig {
@@ -108,6 +118,7 @@ impl SimulationConfig {
             store_shards: 0,
             formation_threads: 0,
             execution_threads: 0,
+            pipelined_formation: false,
         }
     }
 
@@ -167,6 +178,16 @@ impl SimulationConfig {
             ..Self::new(system, workload)
         }
     }
+
+    /// Same as [`SimulationConfig::new`] but with block formation running as a pipeline
+    /// stage overlapping arrival processing (see
+    /// [`SimulationConfig::pipelined_formation`]).
+    pub fn pipelined(system: SystemKind, workload: WorkloadKind) -> Self {
+        SimulationConfig {
+            pipelined_formation: true,
+            ..Self::new(system, workload)
+        }
+    }
 }
 
 /// The simulator. Stateless — all state lives inside a single `run` call.
@@ -212,6 +233,7 @@ impl Simulator {
             store_shards: config.store_shards,
             formation_threads: config.formation_threads,
             execution_threads: config.execution_threads,
+            pipelined_formation: config.pipelined_formation || config.cc.pipelined_formation,
             ..config.cc
         };
         let mut cc: Box<dyn ConcurrencyControl> = config.system.build(cc_config);
@@ -251,14 +273,16 @@ impl Simulator {
         let mut in_ledger: u64 = 0;
         let mut committed: u64 = 0;
         let mut committed_with_anti_rw: u64 = 0;
-        let mut blocks_formed: u64 = 0;
         let mut arrivals_since_cut: usize = 0;
         let mut latency_sum_us: u128 = 0;
         let mut block_span_sum: u64 = 0;
         let mut validation_aborts: HashMap<AbortReason, u64> = HashMap::new();
         let mut submitted_at_by_txn: HashMap<TxnId, SimTime> = HashMap::new();
-        // Measured (wall-clock) per-block formation time in µs, one sample per cut block.
-        let mut formation_us: Vec<u64> = Vec::new();
+        // All block-cut state (trigger counters, formation samples, the pipelined seal/join
+        // bookkeeping and the formation-stage occupancy windows) lives in one driver so both
+        // cut triggers — batch-size and cadence — share a single code path.
+        let mut cut = CutDriver::new(config.pipelined_formation && cc.pipelined_formation());
+        let mut validator_windows: Vec<(SimTime, SimTime)> = Vec::new();
         let mut validator_free_at: SimTime = 0;
         // The chain height at the driver's *logical* time. In concurrent mode the committer
         // thread may have applied further blocks physically; the driver must never observe
@@ -364,40 +388,34 @@ impl Simulator {
                             queue.schedule(
                                 now + ms(config.block.block_timeout_ms as f64),
                                 Event::BlockTimeout {
-                                    blocks_formed_at_arming: blocks_formed,
+                                    blocks_formed_at_arming: cut.blocks_formed,
                                 },
                             );
                         }
                     }
                     if arrivals_since_cut >= config.block.max_txns_per_block {
                         arrivals_since_cut = 0;
-                        if cc.pending_len() > 0 {
-                            Self::cut_block(
-                                &mut cc,
-                                &profile,
-                                config.system,
-                                &mut blocks_formed,
-                                &mut submitted_at_by_txn,
-                                &mut formation_us,
-                                &mut queue,
-                                now,
-                            );
-                        }
+                        cut.trigger(
+                            &mut cc,
+                            &profile,
+                            config.system,
+                            &mut submitted_at_by_txn,
+                            &mut queue,
+                            now,
+                        );
                     }
                 }
 
                 Event::BlockTimeout {
                     blocks_formed_at_arming,
                 } => {
-                    if blocks_formed == blocks_formed_at_arming && cc.pending_len() > 0 {
+                    if cut.blocks_formed == blocks_formed_at_arming && cc.pending_len() > 0 {
                         arrivals_since_cut = 0;
-                        Self::cut_block(
+                        cut.trigger(
                             &mut cc,
                             &profile,
                             config.system,
-                            &mut blocks_formed,
                             &mut submitted_at_by_txn,
-                            &mut formation_us,
                             &mut queue,
                             now,
                         );
@@ -409,22 +427,46 @@ impl Simulator {
                     submitted_at,
                     formed_at: _,
                 } => {
-                    let start = now.max(validator_free_at);
-                    let service = profile.validation_ms(txns.len()) + lock_penalty_ms;
-                    validator_free_at = start + ms(service);
-                    let block_no = next_commit_block;
-                    next_commit_block += 1;
-                    // Hand the block to the commit stage now (the committer thread can overlap
-                    // with the driver); its effects become visible to the driver at the
-                    // BlockValidated event.
-                    commit_stage.begin(block_no, &txns, needs_validation);
-                    queue.schedule(
-                        validator_free_at,
-                        Event::BlockValidated {
-                            block_no,
-                            txns,
-                            submitted_at,
-                        },
+                    Self::deliver_block(
+                        txns,
+                        submitted_at,
+                        now,
+                        &profile,
+                        lock_penalty_ms,
+                        needs_validation,
+                        &mut validator_free_at,
+                        &mut next_commit_block,
+                        &mut commit_stage,
+                        &mut validator_windows,
+                        &mut queue,
+                    );
+                }
+
+                Event::PipelinedBlockReady {
+                    formation_no,
+                    formed_at,
+                } => {
+                    let txns = cut.take_ready(&mut cc, formation_no);
+                    let submitted_at: Vec<SimTime> = txns
+                        .iter()
+                        .map(|t| submitted_at_by_txn.remove(&t.id).unwrap_or(formed_at))
+                        .collect();
+                    // Delivery runs inline: re-scheduling a same-timestamp BlockDelivered
+                    // here would give it a later insertion number than the phased mode's
+                    // (scheduled at seal time), shifting FIFO tie-breaks and with them the
+                    // whole downstream schedule.
+                    Self::deliver_block(
+                        Arc::new(txns),
+                        submitted_at,
+                        now,
+                        &profile,
+                        lock_penalty_ms,
+                        needs_validation,
+                        &mut validator_free_at,
+                        &mut next_commit_block,
+                        &mut commit_stage,
+                        &mut validator_windows,
+                        &mut queue,
                     );
                 }
 
@@ -491,6 +533,12 @@ impl Simulator {
         let (mut commit_us, wave) = commit_stage.commit_metrics();
         let duration_s = (last_event_at as f64 / 1_000_000.0).max(config.duration_s);
         let committed_f = committed.max(1) as f64;
+        let occupancy = PipelineOccupancy::from_windows(
+            &cut.formation_windows,
+            &validator_windows,
+            cc.formation_stalls(),
+        );
+        let mut formation_us = cut.formation_us;
         let report = SimReport {
             system: config.system,
             duration_s,
@@ -513,6 +561,7 @@ impl Simulator {
             safe_tagged,
             fastpath_accepted: cc.fastpath_accepted(),
             conflict_matrix: analyzer.matrix().clone(),
+            occupancy,
         };
         // Tear down the pipeline stages (joining their worker threads) so the driver holds
         // the only remaining reference to the store and can hand the backend out by value.
@@ -561,37 +610,139 @@ impl Simulator {
         refreshed
     }
 
-    /// Cuts a block from the CC's pending set and schedules its delivery after the modelled
-    /// reordering cost. The *measured* wall-clock of the formation call is recorded into
-    /// `formation_us` (one sample per non-empty block) — the simulated delay stays modelled.
+    /// Moves a cut block into the validator: assigns the next commit height, occupies the
+    /// validator for the modelled service time, hands the block to the commit stage and
+    /// schedules the `BlockValidated` event. Shared verbatim by the phased `BlockDelivered`
+    /// arm and the pipelined `PipelinedBlockReady` arm, so the two modes cannot drift.
     #[allow(clippy::too_many_arguments)]
-    fn cut_block(
+    fn deliver_block(
+        txns: Arc<Vec<Transaction>>,
+        submitted_at: Vec<SimTime>,
+        now: SimTime,
+        profile: &PipelineProfile,
+        lock_penalty_ms: f64,
+        needs_validation: bool,
+        validator_free_at: &mut SimTime,
+        next_commit_block: &mut u64,
+        commit_stage: &mut CommitStage,
+        validator_windows: &mut Vec<(SimTime, SimTime)>,
+        queue: &mut EventQueue,
+    ) {
+        let start = now.max(*validator_free_at);
+        let service = profile.validation_ms(txns.len()) + lock_penalty_ms;
+        *validator_free_at = start + ms(service);
+        validator_windows.push((start, *validator_free_at));
+        let block_no = *next_commit_block;
+        *next_commit_block += 1;
+        // Hand the block to the commit stage now (the committer thread can overlap with the
+        // driver); its effects become visible to the driver at the BlockValidated event.
+        commit_stage.begin(block_no, &txns, needs_validation);
+        queue.schedule(
+            *validator_free_at,
+            Event::BlockValidated {
+                block_no,
+                txns,
+                submitted_at,
+            },
+        );
+    }
+}
+
+/// Driver-side owner of the block-cut path: the trigger counters, the measured formation
+/// samples, the formation-stage occupancy windows and — in pipelined mode — the seal/join
+/// bookkeeping. Both cut triggers (batch size and cadence timeout) funnel through
+/// [`CutDriver::trigger`], the single place a block leaves the pending set.
+struct CutDriver {
+    /// Run block formation as an overlapped pipeline stage (seal/join) instead of inline.
+    pipelined: bool,
+    /// Blocks cut so far (pipelined: sealed so far) — the cadence trigger's staleness guard.
+    blocks_formed: u64,
+    /// Measured wall-clock per formed block, in µs (one sample per non-empty block).
+    formation_us: Vec<u64>,
+    /// `(seal, delivery-ready)` simulated windows of the formation stage, for occupancy.
+    formation_windows: Vec<(SimTime, SimTime)>,
+    /// Pipelined: seal-order number of the formation currently on the CC's worker.
+    inflight: Option<u64>,
+    /// Pipelined: blocks force-joined by back-pressure before their ready event fired,
+    /// keyed by seal-order number until the event claims them.
+    finished_early: HashMap<u64, Vec<Transaction>>,
+    /// Pipelined: seal-order number the next `begin_cut` takes.
+    next_formation_no: u64,
+}
+
+impl CutDriver {
+    fn new(pipelined: bool) -> Self {
+        CutDriver {
+            pipelined,
+            blocks_formed: 0,
+            formation_us: Vec::new(),
+            formation_windows: Vec::new(),
+            inflight: None,
+            finished_early: HashMap::new(),
+            next_formation_no: 0,
+        }
+    }
+
+    /// Fires the block-cut condition. Phased mode cuts inline and schedules the delivery
+    /// after the modelled reordering delay. Pipelined mode seals the pending set onto the
+    /// CC's formation worker and schedules `PipelinedBlockReady` at the *same* timestamp —
+    /// back-pressure first joins any formation still in flight (at most one block forms at a
+    /// time; the driver stalls rather than queueing seals unboundedly).
+    fn trigger(
+        &mut self,
         cc: &mut Box<dyn ConcurrencyControl>,
         profile: &PipelineProfile,
         system: SystemKind,
-        blocks_formed: &mut u64,
         submitted_at_by_txn: &mut HashMap<TxnId, SimTime>,
-        formation_us: &mut Vec<u64>,
         queue: &mut EventQueue,
         now: SimTime,
     ) {
+        if cc.pending_len() == 0 {
+            return;
+        }
+        if self.pipelined {
+            if let Some(no) = self.inflight.take() {
+                let (txns, us) = cc.finish_cut();
+                self.formation_us.push(us);
+                self.finished_early.insert(no, txns);
+            }
+            let sealed = cc.begin_cut();
+            if sealed == 0 {
+                return;
+            }
+            self.blocks_formed += 1;
+            let formation_no = self.next_formation_no;
+            self.next_formation_no += 1;
+            self.inflight = Some(formation_no);
+            let ready_at = now + ms(profile.reorder_ms(system, sealed) + 2.0);
+            self.formation_windows.push((now, ready_at));
+            queue.schedule(
+                ready_at,
+                Event::PipelinedBlockReady {
+                    formation_no,
+                    formed_at: now,
+                },
+            );
+            return;
+        }
         let formation_started = std::time::Instant::now();
         let txns = cc.cut_block();
         if txns.is_empty() {
             return;
         }
-        formation_us.push(
+        self.formation_us.push(
             formation_started
                 .elapsed()
                 .as_micros()
                 .min(u64::MAX as u128) as u64,
         );
-        *blocks_formed += 1;
+        self.blocks_formed += 1;
         let submitted_at: Vec<SimTime> = txns
             .iter()
             .map(|t| submitted_at_by_txn.remove(&t.id).unwrap_or(now))
             .collect();
         let delay = profile.reorder_ms(system, txns.len()) + 2.0;
+        self.formation_windows.push((now, now + ms(delay)));
         queue.schedule(
             now + ms(delay),
             Event::BlockDelivered {
@@ -600,6 +751,28 @@ impl Simulator {
                 formed_at: now,
             },
         );
+    }
+
+    /// Claims formation `formation_no` when its ready event fires: either the block was
+    /// already force-joined by back-pressure, or it is the one still in flight and the
+    /// driver joins it now.
+    fn take_ready(
+        &mut self,
+        cc: &mut Box<dyn ConcurrencyControl>,
+        formation_no: u64,
+    ) -> Vec<Transaction> {
+        if let Some(txns) = self.finished_early.remove(&formation_no) {
+            return txns;
+        }
+        debug_assert_eq!(
+            self.inflight,
+            Some(formation_no),
+            "ready events fire in seal order"
+        );
+        self.inflight = None;
+        let (txns, us) = cc.finish_cut();
+        self.formation_us.push(us);
+        txns
     }
 }
 
@@ -681,6 +854,59 @@ mod tests {
         assert_eq!(inline_report.committed, sharded_report.committed);
         assert_eq!(inline_report.blocks, sharded_report.blocks);
         assert_eq!(inline_ledger.tip_hash(), sharded_ledger.tip_hash());
+    }
+
+    #[test]
+    fn pipelined_formation_matches_the_phased_reference() {
+        let mut config = quick_config(SystemKind::FabricSharp);
+        config.duration_s = 2.0;
+        let (phased_report, phased_ledger) = Simulator::run_with_ledger(&config);
+        config.pipelined_formation = true;
+        let (pipelined_report, pipelined_ledger) = Simulator::run_with_ledger(&config);
+        assert_eq!(phased_report.offered, pipelined_report.offered);
+        assert_eq!(phased_report.committed, pipelined_report.committed);
+        assert_eq!(phased_report.in_ledger, pipelined_report.in_ledger);
+        assert_eq!(phased_report.blocks, pipelined_report.blocks);
+        assert_eq!(phased_ledger.tip_hash(), pipelined_ledger.tip_hash());
+    }
+
+    #[test]
+    fn cadence_and_count_triggered_cuts_produce_identical_ledgers() {
+        // Both block-cut triggers funnel through the single `CutDriver::trigger` path; this
+        // pins that the *trigger reason* is invisible to the cut itself. A no-op workload at
+        // exactly 100 tps arrives on a fixed 10 ms cadence (constant endorsement cost, no
+        // conflicts), so a 10-txn count trigger and a 95 ms cadence trigger partition the
+        // arrival stream into the very same blocks — the ledgers must be bit-identical, in
+        // both the phased and the pipelined formation modes.
+        for pipelined in [false, true] {
+            let mut count_cfg = SimulationConfig::new(SystemKind::FabricSharp, WorkloadKind::NoOp);
+            count_cfg.duration_s = 1.0;
+            count_cfg.params.request_rate_tps = 100;
+            count_cfg.block.max_txns_per_block = 10;
+            count_cfg.block.block_timeout_ms = 60_000;
+            count_cfg.pipelined_formation = pipelined;
+
+            let mut cadence_cfg = count_cfg.clone();
+            cadence_cfg.block.max_txns_per_block = 10_000;
+            cadence_cfg.block.block_timeout_ms = 95;
+
+            let (count_report, count_ledger) = Simulator::run_with_ledger(&count_cfg);
+            let (cadence_report, cadence_ledger) = Simulator::run_with_ledger(&cadence_cfg);
+            assert!(count_report.blocks > 1, "pipelined={pipelined}: blocks cut");
+            assert_eq!(
+                count_report.blocks, cadence_report.blocks,
+                "pipelined={pipelined}: block count"
+            );
+            assert_eq!(
+                count_report.in_ledger, cadence_report.in_ledger,
+                "pipelined={pipelined}: committed-to-ledger count"
+            );
+            assert_eq!(
+                count_ledger.tip_hash(),
+                cadence_ledger.tip_hash(),
+                "pipelined={pipelined}: cadence- and count-triggered cuts must agree"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Determinism harness for cross-block pipelined formation.
+//!
+//! `SimulationConfig::pipelined_formation` overlaps block formation (the reordering topo
+//! sort, ww restoration and pruning of a sealed snapshot) with the arrival of the next
+//! generation of transactions: the pending set is handed to a background formation worker at
+//! the cut, and arrivals keep flowing while it works. The overlap is only admissible because
+//! the frontier protocol is *exact* — deferred arrivals replay in arrival order, conflicting
+//! arrivals force a join, and committed-registration no-ops are re-derived against the sealed
+//! snapshot. This battery pins that exactness end to end: ledgers, final store contents and
+//! reports must be **bit-identical** to the phased reference at every tested `S` (store
+//! shards) × `W` (formation threads) × `E` (execution threads) combination, for all five
+//! systems, on a write-partitioned YCSB-B mix and a 100% cross-shard YCSB-F mix.
+
+use fabricsharp::baselines::SystemKind;
+use fabricsharp::sim::runner::{SimulationConfig, Simulator};
+use fabricsharp::sim::SimReport;
+use fabricsharp::workload::generator::WorkloadKind;
+use fabricsharp::workload::YcsbProfile;
+
+const STORE_SHARDS: [usize; 3] = [0, 2, 4];
+const FORMATION_THREADS: [usize; 2] = [0, 2];
+const EXECUTION_THREADS: [usize; 2] = [0, 2];
+
+fn workloads() -> Vec<(&'static str, WorkloadKind)> {
+    vec![
+        // Mostly write-disjoint arrivals: formation windows stay open and deferred-arrival
+        // replay carries the bulk of the window traffic.
+        (
+            "ycsb-b-writepart20",
+            WorkloadKind::Ycsb(YcsbProfile::b().with_write_partition(0.2)),
+        ),
+        // Every transaction collides: the worst case for the eager window — most arrivals
+        // overlap the sealed footprint and force early joins.
+        (
+            "ycsb-f-cross100",
+            WorkloadKind::Ycsb(YcsbProfile::f().with_cross_shard(4, 1.0)),
+        ),
+    ]
+}
+
+fn base_config(system: SystemKind, workload: WorkloadKind) -> SimulationConfig {
+    let mut config = SimulationConfig::new(system, workload);
+    config.duration_s = 1.0;
+    config.params.num_accounts = 300;
+    config.params.request_rate_tps = 300;
+    config.block.max_txns_per_block = 30;
+    config.seed = 7;
+    config
+}
+
+/// Asserts every pipelining-independent report field matches. Timing fields and the
+/// [`fabricsharp::sim::PipelineOccupancy`] block (wall-clock stall accounting, per-mode busy
+/// windows) are deliberately excluded — they describe *how* the run executed, not *what* it
+/// committed.
+fn assert_reports_match(context: &str, reference: &SimReport, candidate: &SimReport) {
+    assert_eq!(reference.offered, candidate.offered, "{context}: offered");
+    assert_eq!(
+        reference.committed, candidate.committed,
+        "{context}: committed"
+    );
+    assert_eq!(
+        reference.in_ledger, candidate.in_ledger,
+        "{context}: in_ledger"
+    );
+    assert_eq!(reference.blocks, candidate.blocks, "{context}: blocks");
+    assert_eq!(reference.aborts, candidate.aborts, "{context}: aborts");
+    assert_eq!(
+        reference.committed_with_anti_rw, candidate.committed_with_anti_rw,
+        "{context}: anti-rw commits"
+    );
+    assert_eq!(
+        reference.safe_tagged, candidate.safe_tagged,
+        "{context}: safe-tagged"
+    );
+}
+
+/// The acceptance criterion: for every system × workload, every `S` × `W` × `E` combination
+/// with pipelined formation on reproduces the phased ledger block for block, leaves the store
+/// byte-identical to that shard count's phased run, and reports the same commit counts.
+#[test]
+fn pipelined_runs_are_bit_identical_to_the_phased_reference() {
+    for system in SystemKind::all() {
+        for (name, workload) in workloads() {
+            let reference_cfg = base_config(system, workload.clone());
+            let (reference_report, reference_ledger, _) = Simulator::run_full(&reference_cfg);
+            assert!(
+                reference_report.committed > 0,
+                "{system}/{name}: reference run must commit work"
+            );
+
+            for shards in STORE_SHARDS {
+                // The phased oracle for this shard count (store layouts differ across `S`,
+                // so store comparisons only make sense within a shard cell; `W` and `E` are
+                // already pinned store-neutral by the sharding and scheduler batteries).
+                let mut phased_cfg = reference_cfg.clone();
+                phased_cfg.store_shards = shards;
+                let (phased_report, phased_ledger, phased_store) = Simulator::run_full(&phased_cfg);
+                let phased_store = format!("{phased_store:?}");
+                let cell = format!("{system}/{name}/S{shards}");
+                assert_reports_match(&cell, &reference_report, &phased_report);
+                assert_eq!(
+                    reference_ledger.tip_hash(),
+                    phased_ledger.tip_hash(),
+                    "{cell}: phased tip hash"
+                );
+
+                for formation in FORMATION_THREADS {
+                    for execution in EXECUTION_THREADS {
+                        let mut cfg = phased_cfg.clone();
+                        cfg.formation_threads = formation;
+                        cfg.execution_threads = execution;
+                        cfg.pipelined_formation = true;
+                        let (report, ledger, store) = Simulator::run_full(&cfg);
+                        let context = format!("{cell}/W{formation}/E{execution}/pipelined");
+
+                        assert_reports_match(&context, &reference_report, &report);
+                        assert_eq!(
+                            phased_ledger.height(),
+                            ledger.height(),
+                            "{context}: ledger height"
+                        );
+                        for (expected, actual) in phased_ledger.iter().zip(ledger.iter()) {
+                            assert_eq!(
+                                expected,
+                                actual,
+                                "{context}: block {} diverged",
+                                expected.number()
+                            );
+                        }
+                        assert_eq!(
+                            phased_ledger.tip_hash(),
+                            ledger.tip_hash(),
+                            "{context}: tip hash"
+                        );
+                        assert!(ledger.verify_integrity().is_ok(), "{context}: integrity");
+                        assert_eq!(
+                            phased_store,
+                            format!("{store:?}"),
+                            "{context}: store contents diverged from the phased run"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Repeated runs of the same heavily parallel pipelined configuration reproduce each other
+/// exactly — no worker-thread or window nondeterminism leaks into ledger, store or report
+/// even at S4/W2/E2.
+#[test]
+fn pipelined_runs_are_reproducible_across_invocations() {
+    let mut cfg = base_config(
+        SystemKind::FabricSharp,
+        WorkloadKind::Ycsb(YcsbProfile::f().with_cross_shard(4, 1.0)),
+    );
+    cfg.store_shards = 4;
+    cfg.formation_threads = 2;
+    cfg.execution_threads = 2;
+    cfg.pipelined_formation = true;
+    let (report_a, ledger_a, store_a) = Simulator::run_full(&cfg);
+    let (report_b, ledger_b, store_b) = Simulator::run_full(&cfg);
+    assert_reports_match("repeat", &report_a, &report_b);
+    assert_eq!(ledger_a.tip_hash(), ledger_b.tip_hash());
+    assert_eq!(
+        format!("{store_a:?}"),
+        format!("{store_b:?}"),
+        "repeat: store"
+    );
+    assert!(report_a.committed > 0);
+    assert!(report_a.blocks > 0);
+}
+
+/// The dedicated constructor is equivalent to setting the knob by hand, and the occupancy
+/// block of a pipelined FabricSharp run actually records formation windows.
+#[test]
+fn pipelined_constructor_matches_the_manual_knob_and_records_occupancy() {
+    let workload = WorkloadKind::Ycsb(YcsbProfile::b().with_write_partition(0.2));
+    let mut manual = base_config(SystemKind::FabricSharp, workload.clone());
+    manual.pipelined_formation = true;
+
+    let mut sugar = SimulationConfig::pipelined(SystemKind::FabricSharp, workload);
+    sugar.duration_s = 1.0;
+    sugar.params.num_accounts = 300;
+    sugar.params.request_rate_tps = 300;
+    sugar.block.max_txns_per_block = 30;
+    sugar.seed = 7;
+
+    let (report_a, ledger_a, _) = Simulator::run_full(&manual);
+    let (report_b, ledger_b, _) = Simulator::run_full(&sugar);
+    assert_reports_match("constructor", &report_a, &report_b);
+    assert_eq!(ledger_a.tip_hash(), ledger_b.tip_hash());
+    assert!(
+        report_a.occupancy.formation_busy_ms > 0.0,
+        "pipelined run must record formation busy time"
+    );
+}
