@@ -40,7 +40,12 @@
 //!   the `E = 4` wave commit must leave the store byte-identical to the `E = 0` serial
 //!   reference, and — **only when the runner has ≥ 2 cores** — the parallel commit of the
 //!   disjoint block must beat the serial one (on a single-core runner the check is reported
-//!   as SKIP: there is no parallelism to win).
+//!   as SKIP: there is no parallelism to win), and
+//! * the durable ledger is gated both on wall-clock (`ledger_append_seg_200`: 200 blocks
+//!   through the CRC-framed segment writer; `recover_cold_1600`: full cold restart —
+//!   checkpoint load + segment suffix replay + controller rebuild over 1600 txns) and
+//!   structurally: the disk-recovered ledger tip, store bytes and controller must be
+//!   identical to the uninterrupted in-memory run's.
 //!
 //! Exit codes: 0 — pass (or baseline recorded); 1 — regression / structural failure;
 //! 2 — baseline missing or unreadable (run with `--record` first). CI runs this as a
@@ -51,9 +56,12 @@
 use eov_baselines::api::SystemKind;
 use eov_common::config::{CcConfig, WorkloadParams};
 use eov_common::rwset::{Key, Value};
+use eov_common::txn::TxnStatus;
 use eov_common::txn::{Transaction, TxnId};
 use eov_common::version::SeqNo;
 use eov_depgraph::{DependencyGraph, NaiveGraph, PendingTxnSpec};
+use eov_ledger::durable::{DurableLedger, DurableOptions};
+use eov_ledger::{write_checkpoint, Block, Ledger};
 use eov_sim::{SimulationConfig, Simulator};
 use eov_vstore::{
     into_shared_backend, MultiVersionStore, SnapshotManager, StateStore, StoreBackend,
@@ -62,7 +70,7 @@ use eov_workload::generator::{WorkloadGenerator, WorkloadKind};
 use eov_workload::YcsbProfile;
 use fabricsharp_core::endorser::SnapshotEndorser;
 use fabricsharp_core::scheduler::{plan_waves, CommitScheduler, WideningTable};
-use fabricsharp_core::FabricSharpCC;
+use fabricsharp_core::{recover_from_disk, recover_from_ledger, FabricSharpCC};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -312,6 +320,63 @@ struct BenchContext {
     commit_disjoint_seed: StoreBackend,
     /// 2048 blind writers over 40 hot keys (~40-wide waves): the coordination-bound case.
     commit_hot: Arc<Vec<Transaction>>,
+    /// 200 committed blocks (1600 txns) for the durable-ledger benches: the append input,
+    /// the in-memory reference, the uninterrupted-run store, and a persisted directory with
+    /// a mid-chain checkpoint at [`DURABLE_CKPT_HEIGHT`] for the cold-recovery bench.
+    durable_blocks: Vec<Block>,
+    durable_reference: Ledger,
+    durable_reference_store: StoreBackend,
+    recover_dir: PathBuf,
+}
+
+/// Blocks in the durable-ledger fixture (× [`DURABLE_TXNS_PER_BLOCK`] txns = 1600).
+const DURABLE_BLOCKS: u64 = 200;
+/// Transactions per durable-fixture block.
+const DURABLE_TXNS_PER_BLOCK: u64 = 8;
+/// Height of the mid-chain checkpoint in the cold-recovery fixture: recovery loads it and
+/// replays the 80-block segment suffix on top.
+const DURABLE_CKPT_HEIGHT: u64 = 120;
+
+/// Builds the durable fixture: 200 committed blocks appended to both an in-memory reference
+/// and a segment-file directory, checkpointed at genesis and at [`DURABLE_CKPT_HEIGHT`].
+fn durable_fixture() -> (Vec<Block>, Ledger, StoreBackend, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("eov-bench-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut ledger = Ledger::new();
+    let mut store = StoreBackend::for_shards(0);
+    store.seed_genesis((0..64).map(|i| (Key::new(format!("acct:{i}")), Value::from_i64(100))));
+    let (mut durable, _) = DurableLedger::open(&dir, DurableOptions::default()).unwrap();
+    write_checkpoint(&dir, &store, false).unwrap();
+    let mut blocks = Vec::with_capacity(DURABLE_BLOCKS as usize);
+    let mut id = 0u64;
+    for number in 1..=DURABLE_BLOCKS {
+        let txns: Vec<Transaction> = (0..DURABLE_TXNS_PER_BLOCK)
+            .map(|_| {
+                id += 1;
+                Transaction::from_parts(
+                    id,
+                    number - 1,
+                    [],
+                    [(
+                        Key::new(format!("acct:{}", id % 64)),
+                        Value::from_i64(id as i64),
+                    )],
+                )
+            })
+            .collect();
+        let mut block = Block::build(number, ledger.tip_hash(), txns);
+        for entry in &mut block.entries {
+            entry.status = TxnStatus::Committed;
+        }
+        store.apply_block(number, block.committed());
+        durable.append(block.clone()).unwrap();
+        ledger.append(block.clone()).unwrap();
+        if number == DURABLE_CKPT_HEIGHT {
+            write_checkpoint(&dir, &store, false).unwrap();
+        }
+        blocks.push(block);
+    }
+    (blocks, ledger, store, dir)
 }
 
 /// Transactions per synthetic wave-commit block.
@@ -350,6 +415,8 @@ fn commit_hot_txns() -> Vec<Transaction> {
 
 impl BenchContext {
     fn new() -> Self {
+        let (durable_blocks, durable_reference, durable_reference_store, recover_dir) =
+            durable_fixture();
         BenchContext {
             dense512: layered(512, 3),
             naive512: naive_layered(512, 3),
@@ -377,7 +444,16 @@ impl BenchContext {
                 backend
             },
             commit_hot: Arc::new(commit_hot_txns()),
+            durable_blocks,
+            durable_reference,
+            durable_reference_store,
+            recover_dir,
         }
+    }
+
+    /// Removes the on-disk cold-recovery fixture (call before every exit path).
+    fn cleanup(&self) {
+        let _ = std::fs::remove_dir_all(&self.recover_dir);
     }
 
     /// Median wall-clock of committing `txns` as block 1 on a clone of `seed` with an
@@ -403,7 +479,9 @@ impl BenchContext {
             "formation_ww_restore_400",
             "formation_ww_restore_400_s4",
             "formation_ww_restore_400_s4_w2",
+            "ledger_append_seg_200",
             "mark_committed_all_1600",
+            "recover_cold_1600",
             "remove_half_1600",
             "sharp_pipeline_chunks1600_phased",
             "sharp_pipeline_chunks1600_pipelined",
@@ -471,6 +549,31 @@ impl BenchContext {
                 g.len() as u64
             }),
             "build_layered_512" => median_ns(|| layered(512, 3).len() as u64),
+            "ledger_append_seg_200" => {
+                // Fresh directory per run: open, append all 200 blocks through the segment
+                // writer (CRC framing + rotation, no fsync), report the height.
+                let dir =
+                    std::env::temp_dir().join(format!("eov-bench-append-{}", std::process::id()));
+                let ns = median_ns(|| {
+                    let _ = std::fs::remove_dir_all(&dir);
+                    let (mut durable, _) =
+                        DurableLedger::open(&dir, DurableOptions::default()).unwrap();
+                    for block in &self.durable_blocks {
+                        durable.append(block.clone()).unwrap();
+                    }
+                    durable.height()
+                });
+                let _ = std::fs::remove_dir_all(&dir);
+                ns
+            }
+            "recover_cold_1600" => median_ns(|| {
+                // Full cold restart against the prepared directory: newest checkpoint (height
+                // 120) + 80-block segment suffix replay + controller rebuild, 1600 txns total.
+                recover_from_disk(&self.recover_dir, CcConfig::default())
+                    .unwrap()
+                    .ledger
+                    .height()
+            }),
             "commit_wave_disjoint2048_e0" => {
                 self.measure_commit(&self.commit_disjoint_seed, &self.commit_disjoint, 0)
             }
@@ -879,6 +982,32 @@ fn main() {
             failures += 1;
         }
     }
+    // Durable ledger, structural check — machine-independent, always enforced: a cold
+    // recovery from disk (checkpoint + segment suffix) must land on exactly the state the
+    // uninterrupted in-memory run produced — same ledger tip, same store bytes, and a
+    // controller equivalent to `recover_from_ledger` over the in-memory reference.
+    {
+        let recovered =
+            recover_from_disk(&ctx.recover_dir, CcConfig::default()).expect("cold recovery");
+        let (from_memory, _) = recover_from_ledger(&ctx.durable_reference, CcConfig::default())
+            .expect("memory recovery");
+        let tip_ok = recovered.ledger.ledger().tip_hash() == ctx.durable_reference.tip_hash();
+        let store_ok = recovered.store == ctx.durable_reference_store;
+        let cc_ok = recovered.cc.next_block() == from_memory.next_block();
+        let ckpt_ok = recovered.checkpoint_height == DURABLE_CKPT_HEIGHT;
+        if tip_ok && store_ok && cc_ok && ckpt_ok {
+            println!(
+                "  OK   recover_cold_1600: disk recovery (ckpt {} + {}-block suffix) identical to the in-memory run",
+                recovered.checkpoint_height,
+                DURABLE_BLOCKS - recovered.checkpoint_height
+            );
+        } else {
+            println!(
+                "  FAIL recover_cold_1600: disk recovery diverged from the in-memory run (tip {tip_ok}, store {store_ok}, cc {cc_ok}, ckpt {ckpt_ok})"
+            );
+            failures += 1;
+        }
+    }
     println!(
         "  INFO sharded s2 / unsharded arrival+cut: smallbank {:.2}x, ycsb-cross {:.2}x",
         results["sharp_smallbank200_sharded_s2"] / results["sharp_smallbank200_unsharded"],
@@ -895,6 +1024,7 @@ fn main() {
     if record {
         std::fs::write(&path, format_baseline(&results)).expect("write BENCH_BASELINE.json");
         println!("recorded baseline to {}", path.display());
+        ctx.cleanup();
         std::process::exit(if failures == 0 { 0 } else { 1 });
     }
 
@@ -907,6 +1037,7 @@ fn main() {
             "no readable baseline at {} — run `cargo run --release -p eov-bench --bin bench_gate -- --record`",
             path.display()
         );
+        ctx.cleanup();
         std::process::exit(2);
     };
 
@@ -961,6 +1092,7 @@ fn main() {
         }
     }
 
+    ctx.cleanup();
     if failures > 0 {
         eprintln!("\nbench_gate: {failures} failure(s)");
         std::process::exit(1);

@@ -100,6 +100,18 @@ pub struct CcConfig {
     /// bit-for-bit the same ledgers, stores and decisions (asserted by
     /// `tests/pipelined_formation_determinism.rs`).
     pub pipelined_formation: bool,
+    /// Size (in KiB) at which the durable ledger rotates to a new segment file. Only consulted
+    /// when a durable ledger directory is configured; the in-memory reference ledger ignores
+    /// it. Defaults to 64 KiB — small enough that multi-block test runs exercise rotation.
+    pub segment_rotate_kib: u32,
+    /// Blocks between multi-version-store checkpoints when durability is enabled. `0` (the
+    /// default) writes only the genesis checkpoint, so cold recovery replays the whole segment
+    /// suffix; `N >= 1` checkpoints every `N` blocks, bounding the replay suffix to `N`.
+    pub checkpoint_interval: u64,
+    /// When `true`, every durable segment append is fsynced before the block is acknowledged
+    /// (crash-durability at the cost of append throughput — see BASELINES.md). `false` (the
+    /// default) leaves flushing to the OS; a torn tail is repaired on recovery either way.
+    pub durable_fsync: bool,
 }
 
 impl Default for CcConfig {
@@ -114,6 +126,9 @@ impl Default for CcConfig {
             template_fastpath: false,
             execution_threads: 0,
             pipelined_formation: false,
+            segment_rotate_kib: 64,
+            checkpoint_interval: 0,
+            durable_fsync: false,
         }
     }
 }
@@ -144,6 +159,11 @@ impl CcConfig {
         if self.execution_threads > 256 {
             return Err(crate::error::CommonError::InvalidConfig(
                 "execution_threads must be at most 256".into(),
+            ));
+        }
+        if self.segment_rotate_kib == 0 {
+            return Err(crate::error::CommonError::InvalidConfig(
+                "segment_rotate_kib must be at least 1".into(),
             ));
         }
         Ok(())

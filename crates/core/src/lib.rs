@@ -53,7 +53,9 @@ pub use endorser::{SimulationContext, SnapshotEndorser, TxnEffects};
 pub use frontier::FormedBlock;
 pub use orderer_cc::FabricSharpCC;
 pub use pipeline::{CommitOutcome, CommitWorker, EndorseJob, EndorseLogic, EndorserPool};
-pub use recovery::{recover_from_ledger, RecoveryReport};
+pub use recovery::{
+    recover_from_disk, recover_from_ledger, ColdRecovery, RecoveryError, RecoveryReport,
+};
 pub use scheduler::{plan_waves, CommitScheduler, WavePlan, WaveStats, WideningTable};
 pub use serializability::{is_serializable, is_strongly_serializable, serialization_order};
 pub use stats::CcStats;

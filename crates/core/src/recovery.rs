@@ -7,11 +7,61 @@
 //! matter, because anything older can never participate in a future cycle (Section 4.6) — into
 //! a fresh controller via [`FabricSharpCC::register_committed`], leaving it ready to process
 //! new arrivals exactly as if it had been running all along.
+//!
+//! [`recover_from_disk`] is the cold-start path on top of the same machinery: open the
+//! durable segment files (repairing a torn trailing record), load the newest valid store
+//! checkpoint at or below the recovered height, replay the segment suffix into the store, and
+//! rebuild the controller from the in-memory mirror. Every failure mode is a typed
+//! [`RecoveryError`] — a corrupt ledger is *reported*, never a panic.
 
 use crate::orderer_cc::FabricSharpCC;
 use eov_common::config::CcConfig;
-use eov_common::error::Result;
-use eov_ledger::Ledger;
+use eov_common::error::CommonError;
+use eov_ledger::durable::{DurableLedger, DurableOptions, OpenReport};
+use eov_ledger::{latest_checkpoint_at_most, Ledger, LedgerError};
+use eov_vstore::{StateStore, StoreBackend};
+use std::fmt;
+use std::path::Path;
+
+/// Everything that can fail while rebuilding an orderer, typed end-to-end: durable-substrate
+/// failures (I/O, corrupt records or checkpoints) and chain-rule violations.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// A durable-ledger failure: I/O, a corrupt record before the tail, a bad checkpoint.
+    Ledger(LedgerError),
+    /// A chain-rule violation in the (recovered or handed-in) ledger.
+    Chain(CommonError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Ledger(e) => write!(f, "recovery failed: {e}"),
+            RecoveryError::Chain(e) => write!(f, "recovery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Ledger(e) => Some(e),
+            RecoveryError::Chain(e) => Some(e),
+        }
+    }
+}
+
+impl From<LedgerError> for RecoveryError {
+    fn from(e: LedgerError) -> Self {
+        RecoveryError::Ledger(e)
+    }
+}
+
+impl From<CommonError> for RecoveryError {
+    fn from(e: CommonError) -> Self {
+        RecoveryError::Chain(e)
+    }
+}
 
 /// Summary of a recovery run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,7 +82,7 @@ pub struct RecoveryReport {
 pub fn recover_from_ledger(
     ledger: &Ledger,
     config: CcConfig,
-) -> Result<(FabricSharpCC, RecoveryReport)> {
+) -> Result<(FabricSharpCC, RecoveryReport), RecoveryError> {
     ledger.verify_integrity()?;
     let mut cc = FabricSharpCC::new(config);
     let height = ledger.height();
@@ -63,6 +113,61 @@ pub fn recover_from_ledger(
             transactions_registered: registered,
         },
     ))
+}
+
+/// The full state a cold-started orderer resumes from: the reopened durable ledger, the
+/// replayed store, and a controller rebuilt exactly as [`recover_from_ledger`] would from the
+/// equivalent in-memory ledger.
+#[derive(Debug)]
+pub struct ColdRecovery {
+    /// The rebuilt controller, ready for new arrivals at block `ledger.height() + 1`.
+    pub cc: FabricSharpCC,
+    /// The reopened durable ledger (torn tail repaired, ready to append).
+    pub ledger: DurableLedger,
+    /// The state store: newest valid checkpoint plus the replayed segment suffix.
+    pub store: StoreBackend,
+    /// The controller-rebuild summary.
+    pub report: RecoveryReport,
+    /// Height of the checkpoint the store was loaded from (0 = genesis or none found).
+    pub checkpoint_height: u64,
+    /// What opening the segment files found (blocks, segments, any repaired torn tail).
+    pub open: OpenReport,
+}
+
+/// Cold-starts an orderer from its durability directory: opens the segment files (truncating a
+/// torn trailing record), loads the newest valid checkpoint at or below the recovered height
+/// whose shape matches `config.store_shards`, replays the remaining blocks into the store, and
+/// rebuilds the controller from the recovered ledger.
+///
+/// With no usable checkpoint the store is replayed from an empty block-0 state — correct as
+/// long as a genesis checkpoint was written at seeding time (the simulator always writes one),
+/// because seeded genesis values exist in no block.
+pub fn recover_from_disk(
+    dir: impl AsRef<Path>,
+    config: CcConfig,
+) -> Result<ColdRecovery, RecoveryError> {
+    let (ledger, open) = DurableLedger::open(&dir, DurableOptions::from_cc_config(&config))?;
+    let height = ledger.height();
+
+    let (checkpoint_height, mut store) =
+        match latest_checkpoint_at_most(&dir, height, config.store_shards)? {
+            Some((h, store)) => (h, store),
+            None => (0, StoreBackend::for_shards(config.store_shards)),
+        };
+    for block_no in (checkpoint_height + 1)..=height {
+        let block = ledger.ledger().block(block_no)?;
+        store.apply_block(block_no, block.committed());
+    }
+
+    let (cc, report) = recover_from_ledger(ledger.ledger(), config)?;
+    Ok(ColdRecovery {
+        cc,
+        ledger,
+        store,
+        report,
+        checkpoint_height,
+        open,
+    })
 }
 
 impl FabricSharpCC {

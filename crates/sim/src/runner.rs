@@ -34,7 +34,8 @@ use eov_common::config::{BlockConfig, CcConfig, WorkloadParams};
 use eov_common::rwset::ReadSet;
 use eov_common::txn::{TemplateClass, Transaction, TxnId, TxnStatus};
 use eov_common::version::SeqNo;
-use eov_ledger::{Block, Ledger};
+use eov_ledger::durable::{DurableOptions, LedgerBackend};
+use eov_ledger::{write_checkpoint, Block, Ledger};
 use eov_vstore::{
     into_shared_backend, SharedStore, SnapshotManager, StateRead, StateStore, StoreBackend,
 };
@@ -99,6 +100,16 @@ pub struct SimulationConfig {
     /// settings produce bit-identical ledgers, stores and reports for the same seed —
     /// asserted over the full grid by `tests/pipelined_formation_determinism.rs`.
     pub pipelined_formation: bool,
+    /// Persist the run's chain of record: when set, every appended block is also written to
+    /// CRC-framed segment files under this directory (rotation and fsync per
+    /// [`CcConfig::segment_rotate_kib`] / [`CcConfig::durable_fsync`]), a genesis store
+    /// checkpoint is written at seeding time, and — in inline-stage mode
+    /// (`endorser_shards == 0`) — further checkpoints every
+    /// [`CcConfig::checkpoint_interval`] blocks. `None` (the default) keeps the run fully
+    /// in-memory; the produced ledger is bit-identical either way. The directory must be
+    /// fresh: resuming is the recovery path's job
+    /// (`fabricsharp_core::recovery::recover_from_disk`), not the simulator's.
+    pub durability_dir: Option<std::path::PathBuf>,
 }
 
 impl SimulationConfig {
@@ -119,6 +130,7 @@ impl SimulationConfig {
             formation_threads: 0,
             execution_threads: 0,
             pipelined_formation: false,
+            durability_dir: None,
         }
     }
 
@@ -228,13 +240,30 @@ impl Simulator {
         let snapshots = SnapshotManager::new();
         snapshots.register_block(0);
         let endorser = SnapshotEndorser::new(snapshots.clone());
-        let mut ledger = Ledger::new();
         let cc_config = CcConfig {
             store_shards: config.store_shards,
             formation_threads: config.formation_threads,
             execution_threads: config.execution_threads,
             pipelined_formation: config.pipelined_formation || config.cc.pipelined_formation,
             ..config.cc
+        };
+        // Chain of record: in-memory reference, or segment files when a durability directory
+        // is configured. The genesis checkpoint is written eagerly because seeded genesis
+        // values live in no block — replay alone cannot recreate them on a cold start.
+        let mut ledger = match &config.durability_dir {
+            None => LedgerBackend::memory(),
+            Some(dir) => {
+                let (backend, open) =
+                    LedgerBackend::durable(dir, DurableOptions::from_cc_config(&cc_config))
+                        .expect("open durable ledger directory");
+                assert_eq!(
+                    open.blocks_recovered, 0,
+                    "durability_dir must be fresh for a simulation run"
+                );
+                write_checkpoint(dir, &store.read(), cc_config.durable_fsync)
+                    .expect("write genesis checkpoint");
+                backend
+            }
         };
         let mut cc: Box<dyn ConcurrencyControl> = config.system.build(cc_config);
         let needs_validation = cc.needs_peer_validation();
@@ -488,7 +517,7 @@ impl Simulator {
                     // holds the last Arc reference and unwraps for free; a straggling clone
                     // (scheduler worker mid-drop) falls back to a copy.
                     let txns = Arc::try_unwrap(txns).unwrap_or_else(|shared| (*shared).clone());
-                    let mut block = Block::build(block_no, ledger.tip_hash(), txns);
+                    let mut block = Block::build(block_no, ledger.as_ledger().tip_hash(), txns);
                     let mut block_outcome: Vec<(Transaction, TxnStatus)> =
                         Vec::with_capacity(block.entries.len());
                     for ((entry, status), submitted) in block
@@ -521,6 +550,19 @@ impl Simulator {
                     snapshots.register_block(block_no);
                     cc.on_block_committed(block_no, &block_outcome);
                     last_committed = block_no;
+                    // Periodic store checkpoints, inline-stage mode only: with a committer
+                    // thread running, the store could be mid-block when cloned for
+                    // serialization, so concurrent runs keep the genesis checkpoint alone
+                    // and recover by full replay.
+                    if let Some(dir) = &config.durability_dir {
+                        if cc_config.checkpoint_interval > 0
+                            && config.endorser_shards == 0
+                            && block_no % cc_config.checkpoint_interval == 0
+                        {
+                            write_checkpoint(dir, &store.read(), cc_config.durable_fsync)
+                                .expect("write periodic checkpoint");
+                        }
+                    }
                 }
             }
         }
@@ -570,7 +612,7 @@ impl Simulator {
         let backend = Arc::try_unwrap(store)
             .map(|lock| lock.into_inner())
             .unwrap_or_else(|shared| shared.read().clone());
-        (report, ledger, backend)
+        (report, ledger.into_ledger(), backend)
     }
 
     /// Runs the same configuration for every system and returns the reports in

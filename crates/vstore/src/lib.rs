@@ -22,6 +22,9 @@
 //!   multi-version store across `S` shards behind a deterministic
 //!   [`eov_common::shard::ShardRouter`], and [`sharded::ShardedIndices`] partitions the
 //!   CW/CR/PW/PR dependency-resolution indices the same way.
+//! * [`timetravel`] — the reenactment query surface over the retained history:
+//!   [`timetravel::TimeTravel`] answers "value of `key` as of block `h`", block-range
+//!   histories, and the commit slot behind any visible value, identically on every backend.
 
 #![forbid(unsafe_code)]
 
@@ -32,6 +35,7 @@ pub mod sharded;
 pub mod shared;
 pub mod snapshot;
 pub mod state;
+pub mod timetravel;
 
 pub use index::{CommittedReadIndex, CommittedWriteIndex};
 pub use mvstore::{MultiVersionStore, VersionedValue};
@@ -40,3 +44,4 @@ pub use sharded::{ShardedIndices, ShardedStore};
 pub use shared::{into_shared, into_shared_backend, SharedStore, StoreBackend};
 pub use snapshot::{SnapshotManager, SnapshotView};
 pub use state::{StateRead, StateStore};
+pub use timetravel::TimeTravel;

@@ -18,7 +18,7 @@ use eov_common::version::SeqNo;
 use std::collections::BTreeMap;
 
 /// A single version of a value: the commit slot that installed it plus the bytes themselves.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VersionedValue {
     /// The commit slot `(block, seq)` of the transaction that wrote this version.
     pub version: SeqNo,
@@ -30,7 +30,7 @@ pub struct VersionedValue {
 ///
 /// Writes are applied block by block (commits are totally ordered), so the per-key version
 /// vectors are naturally sorted by version and snapshot reads are a binary search.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MultiVersionStore {
     /// Per-key version chains, each sorted by ascending version.
     data: BTreeMap<Key, Vec<VersionedValue>>,
@@ -162,6 +162,20 @@ impl MultiVersionStore {
     /// The lowest block height whose snapshot is still readable.
     pub fn pruned_below(&self) -> u64 {
         self.pruned_below
+    }
+
+    /// Iterates over every `(key, full version chain)` pair in key order — the deterministic
+    /// walk the durable checkpoint codec serializes.
+    pub fn iter_history(&self) -> impl Iterator<Item = (&Key, &[VersionedValue])> {
+        self.data.iter().map(|(k, chain)| (k, chain.as_slice()))
+    }
+
+    /// Restores the height and pruning horizon recorded in a checkpoint. Only meaningful
+    /// right after rebuilding the version chains via [`Self::put`]; never regresses either
+    /// counter, so a misordered call cannot un-prune anything.
+    pub fn restore_heights(&mut self, last_block: u64, pruned_below: u64) {
+        self.last_block = self.last_block.max(last_block);
+        self.pruned_below = self.pruned_below.max(pruned_below);
     }
 }
 

@@ -40,15 +40,18 @@ impl PendingIndex {
     /// Iterates over `(key, pending transactions)` pairs in arbitrary order. Used by the
     /// ww-restoration step (Algorithm 5) which walks every key written by pending transactions.
     pub fn iter(&self) -> impl Iterator<Item = (&Key, &[TxnId])> {
+        // lint-determinism: allow (ww-restoration sorts the collected keys before use)
         self.by_key.iter().map(|(k, v)| (k, v.as_slice()))
     }
 
     /// Removes a single transaction from every key's list (used when an accepted transaction is
     /// later dropped, e.g. by an adversarial-orderer test).
     pub fn remove_txn(&mut self, txn: TxnId) {
+        // lint-determinism: allow (removal from every list is commutative across keys)
         for txns in self.by_key.values_mut() {
             txns.retain(|t| *t != txn);
         }
+        // lint-determinism: allow (pure emptiness filter, order-insensitive)
         self.by_key.retain(|_, txns| !txns.is_empty());
     }
 
@@ -64,6 +67,7 @@ impl PendingIndex {
 
     /// Total number of `(key, txn)` associations.
     pub fn entry_count(&self) -> usize {
+        // lint-determinism: allow (sum over lists is commutative)
         self.by_key.values().map(Vec::len).sum()
     }
 

@@ -19,7 +19,7 @@ use eov_common::shard::ShardRouter;
 use eov_common::version::SeqNo;
 
 /// A multi-version store partitioned across `S` shards by a [`ShardRouter`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardedStore {
     router: ShardRouter,
     shards: Vec<MultiVersionStore>,
@@ -94,6 +94,12 @@ impl ShardedStore {
             .map(MultiVersionStore::pruned_below)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Restores the *global* height recorded in a checkpoint (individual shards only see the
+    /// blocks that wrote into them, so their own heights undercount). Never regresses.
+    pub fn restore_height(&mut self, last_block: u64) {
+        self.last_block = self.last_block.max(last_block);
     }
 }
 

@@ -29,7 +29,7 @@ use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// The state backend behind the shared handle: one global store, or `S` key-space shards.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StoreBackend {
     /// The unsharded reference store.
     Unsharded(MultiVersionStore),
@@ -53,6 +53,22 @@ impl StoreBackend {
         match self {
             StoreBackend::Unsharded(_) => 1,
             StoreBackend::Sharded(s) => s.shard_count(),
+        }
+    }
+
+    /// Full version history of `key` (oldest first), whichever backend holds it.
+    pub fn history(&self, key: &Key) -> &[VersionedValue] {
+        match self {
+            StoreBackend::Unsharded(s) => s.history(key),
+            StoreBackend::Sharded(s) => s.history(key),
+        }
+    }
+
+    /// The lowest block height whose snapshot is still readable.
+    pub fn pruned_below(&self) -> u64 {
+        match self {
+            StoreBackend::Unsharded(s) => s.pruned_below(),
+            StoreBackend::Sharded(s) => s.pruned_below(),
         }
     }
 }

@@ -1,0 +1,173 @@
+//! Time-travel (reenactment) queries over the retained version history.
+//!
+//! The multi-version store already holds everything a historical audit needs: every key maps
+//! to its full chain of `(version, value)` pairs, sorted by commit slot. [`TimeTravel`] turns
+//! that into the reenactment query surface of Arab et al. (PAPERS.md): *what was the value of
+//! `key` as of block `h`?* (`value_as_of`), *how did it evolve between `h0` and `h1`?*
+//! (`history_range`), and *which commit slot produced the visible value?* (`version_as_of` —
+//! the store half of provenance; `eov_ledger::reenact` joins the slot back to the committing
+//! transaction). Answers below the pruning horizon are refused with the same
+//! [`CommonError::SnapshotPruned`](eov_common::error::CommonError::SnapshotPruned) contract as
+//! snapshot reads, because pruned chains no longer hold the evidence.
+//!
+//! All three backends answer identically for the same committed writes — sharding partitions
+//! the key space without changing any per-key chain — which the cold-recovery batteries
+//! assert against a block-by-block replayed oracle.
+
+use crate::mvstore::{MultiVersionStore, VersionedValue};
+use crate::sharded::ShardedStore;
+use crate::shared::StoreBackend;
+use eov_common::error::{CommonError, Result};
+use eov_common::rwset::Key;
+use eov_common::version::SeqNo;
+
+/// Historical queries over a multi-versioned backend.
+pub trait TimeTravel {
+    /// Full version history of `key` (oldest first); empty if never written.
+    fn full_history(&self, key: &Key) -> &[VersionedValue];
+
+    /// The lowest block height whose history is still complete (the pruning horizon).
+    fn oldest_queryable(&self) -> u64;
+
+    /// The value of `key` as of the snapshot after block `height`: the newest version whose
+    /// block component is `<= height`. Errors below the pruning horizon.
+    fn value_as_of(&self, key: &Key, height: u64) -> Result<Option<&VersionedValue>> {
+        if height < self.oldest_queryable() {
+            return Err(CommonError::SnapshotPruned(height));
+        }
+        let chain = self.full_history(key);
+        let idx = chain.partition_point(|v| v.version <= SeqNo::new(height, u32::MAX));
+        Ok(idx.checked_sub(1).map(|i| &chain[i]))
+    }
+
+    /// Every version of `key` committed in blocks `h0..=h1` (oldest first). Errors if `h0` is
+    /// below the pruning horizon (versions there may already be gone).
+    fn history_range(&self, key: &Key, h0: u64, h1: u64) -> Result<&[VersionedValue]> {
+        if h0 < self.oldest_queryable() {
+            return Err(CommonError::SnapshotPruned(h0));
+        }
+        let chain = self.full_history(key);
+        let lo = chain.partition_point(|v| v.version.block < h0);
+        let hi = chain.partition_point(|v| v.version <= SeqNo::new(h1, u32::MAX));
+        Ok(&chain[lo..hi.max(lo)])
+    }
+
+    /// The commit slot `(block, seq)` that produced the value visible at `height`, if any —
+    /// the key into the ledger for provenance resolution.
+    fn version_as_of(&self, key: &Key, height: u64) -> Result<Option<SeqNo>> {
+        Ok(self.value_as_of(key, height)?.map(|v| v.version))
+    }
+}
+
+impl TimeTravel for MultiVersionStore {
+    fn full_history(&self, key: &Key) -> &[VersionedValue] {
+        self.history(key)
+    }
+
+    fn oldest_queryable(&self) -> u64 {
+        self.pruned_below()
+    }
+}
+
+impl TimeTravel for ShardedStore {
+    fn full_history(&self, key: &Key) -> &[VersionedValue] {
+        self.history(key)
+    }
+
+    fn oldest_queryable(&self) -> u64 {
+        self.pruned_below()
+    }
+}
+
+impl TimeTravel for StoreBackend {
+    fn full_history(&self, key: &Key) -> &[VersionedValue] {
+        self.history(key)
+    }
+
+    fn oldest_queryable(&self) -> u64 {
+        self.pruned_below()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{StateRead, StateStore};
+    use eov_common::rwset::Value;
+    use eov_common::txn::Transaction;
+
+    fn k(s: &str) -> Key {
+        Key::new(s)
+    }
+
+    /// A backend with key `A` rewritten in blocks 1..=5 (value = block) plus genesis 0.
+    fn populated(shards: usize) -> StoreBackend {
+        let mut store = StoreBackend::for_shards(shards);
+        store.seed_genesis([(k("A"), Value::from_i64(0)), (k("B"), Value::from_i64(-1))]);
+        for b in 1..=5u64 {
+            let txn = Transaction::from_parts(b, b - 1, [], [(k("A"), Value::from_i64(b as i64))]);
+            store.apply_block(b, [(&txn, 1)]);
+        }
+        store
+    }
+
+    #[test]
+    fn value_as_of_matches_read_at_on_every_backend() {
+        for shards in [0usize, 2, 4] {
+            let store = populated(shards);
+            for h in 0..=6u64 {
+                for key in [k("A"), k("B"), k("missing")] {
+                    assert_eq!(
+                        store.value_as_of(&key, h).unwrap(),
+                        store.read_at(&key, h).unwrap(),
+                        "S={shards} {key} @ {h}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn history_range_slices_the_chain_by_block() {
+        let store = populated(2);
+        let mid = store.history_range(&k("A"), 2, 4).unwrap();
+        let blocks: Vec<u64> = mid.iter().map(|v| v.version.block).collect();
+        assert_eq!(blocks, vec![2, 3, 4]);
+        // Degenerate and out-of-range windows are empty, not errors.
+        assert!(store.history_range(&k("A"), 4, 2).unwrap().is_empty());
+        assert!(store.history_range(&k("A"), 9, 12).unwrap().is_empty());
+        // Full range covers genesis too.
+        assert_eq!(store.history_range(&k("A"), 0, 5).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn version_as_of_returns_the_committing_slot() {
+        let store = populated(0);
+        assert_eq!(
+            store.version_as_of(&k("A"), 3).unwrap(),
+            Some(SeqNo::new(3, 1))
+        );
+        assert_eq!(
+            store.version_as_of(&k("B"), 3).unwrap(),
+            Some(SeqNo::new(0, 2))
+        );
+        assert_eq!(store.version_as_of(&k("missing"), 3).unwrap(), None);
+    }
+
+    #[test]
+    fn queries_below_the_pruning_horizon_are_refused() {
+        let mut store = populated(0);
+        store.prune_versions_below(3);
+        assert_eq!(
+            store.value_as_of(&k("A"), 2),
+            Err(CommonError::SnapshotPruned(2))
+        );
+        assert_eq!(
+            store.history_range(&k("A"), 1, 5),
+            Err(CommonError::SnapshotPruned(1))
+        );
+        // At or above the horizon still answers.
+        assert!(store.value_as_of(&k("A"), 3).unwrap().is_some());
+        assert!(!store.history_range(&k("A"), 3, 5).unwrap().is_empty());
+    }
+}

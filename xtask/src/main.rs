@@ -2,8 +2,9 @@
 //!
 //! * `lint-determinism` — static lint over the ledger-order-affecting modules (see
 //!   [`SCAN_ROOTS`]: the dependency graph, the orderer's arrival/formation paths, the shard
-//!   coordinator, the wave-commit scheduler and the simulator's event loop / pipeline
-//!   stages). Fails on iteration over
+//!   coordinator, the wave-commit scheduler, the simulator's event loop / pipeline
+//!   stages, and — since the ledger is persisted byte-for-byte — the durable ledger codec,
+//!   checkpoint writer and the versioned store they serialise). Fails on iteration over
 //!   `HashMap`/`HashSet` bindings (`.iter()`, `.keys()`, `.values()`, `.drain()`,
 //!   `for … in &map`, …) outside an explicit allowlist. Hash iteration order is seeded per
 //!   process, so any such loop whose effects reach the commit order reintroduces exactly the
@@ -28,7 +29,13 @@ use std::process::ExitCode;
 
 /// Directories whose modules can affect the ledger's commit order. Adding a crate here is
 /// the whole change: the scan, the report and the doc comment above all key off this list.
-const SCAN_ROOTS: &[&str] = &["crates/depgraph/src", "crates/core/src", "crates/sim/src"];
+const SCAN_ROOTS: &[&str] = &[
+    "crates/depgraph/src",
+    "crates/core/src",
+    "crates/sim/src",
+    "crates/ledger/src",
+    "crates/vstore/src",
+];
 
 /// The allowlist marker: `lint-determinism: allow (reason)` on the flagged line or the line
 /// directly above it.
